@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared bench plumbing: argument parsing and default options.
+ */
+
+#ifndef BEEHIVE_BENCH_COMMON_H
+#define BEEHIVE_BENCH_COMMON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/testbed.h"
+
+namespace beehive::bench {
+
+/** Common CLI: --seed N, --quick (shorter runs for smoke tests). */
+struct BenchArgs
+{
+    uint64_t seed = 1;
+    bool quick = false;
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            args.seed = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            args.quick = true;
+    }
+    return args;
+}
+
+/** Framework shape used by the latency/throughput experiments:
+ * full structural shape, native loops scaled for simulation speed
+ * (service times are fidelity-independent, see Framework docs). */
+inline apps::FrameworkOptions
+benchFramework()
+{
+    apps::FrameworkOptions fw;
+    fw.native_scale = 400;
+    return fw;
+}
+
+inline const harness::AppKind kAllApps[] = {
+    harness::AppKind::Thumbnail,
+    harness::AppKind::Pybbs,
+    harness::AppKind::Blog,
+};
+
+} // namespace beehive::bench
+
+#endif // BEEHIVE_BENCH_COMMON_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Section 5.2's availability-zone experiment: "We further configure
+ * instances in OpenWhisk into different AWS available zones and the
+ * resulting overhead increases to 23.2% on average, which suggests
+ * the importance of network latency."
+ *
+ * We measure steady-state offloaded p99 for each app with OpenWhisk
+ * workers in the server's VPC versus in another availability zone,
+ * and report the relative overhead increase.
+ */
+
+#include "bench/bench_common.h"
+#include "harness/report.h"
+#include "harness/burst.h"
+#include "harness/testbed.h"
+#include "workload/clients.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using namespace beehive::bench;
+using sim::SimTime;
+
+namespace {
+
+double
+steadyP99(AppKind app, bool cross_az, const BenchArgs &args)
+{
+    TestbedOptions opts;
+    opts.app = app;
+    opts.seed = args.seed;
+    opts.framework = benchFramework();
+    opts.cross_az = cross_az;
+    Testbed bed(opts);
+    if (!bed.runProfilingPhase())
+        return -1;
+    SimTime t0 = bed.sim().now();
+    SimTime duration =
+        args.quick ? SimTime::sec(20) : SimTime::sec(40);
+    bed.manager()->setOffloadRatio(0.6);
+
+    workload::Recorder recorder;
+    recorder.setWarmupCutoff(t0 + SimTime::sec(8));
+    workload::ClosedLoopClients clients(bed.sim(), bed.sink(),
+                                        recorder);
+    clients.start(defaultClients(app), t0);
+    bed.sim().runUntil(t0 + duration);
+    clients.stopAll();
+    bed.sim().runUntil(t0 + duration + SimTime::sec(3));
+    return recorder.latencies().percentile(99);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+
+    std::vector<std::vector<std::string>> rows;
+    double sum_overhead = 0;
+    for (AppKind app : kAllApps) {
+        double same = steadyP99(app, false, args);
+        double cross = steadyP99(app, true, args);
+        double overhead = (cross - same) / same * 100.0;
+        sum_overhead += overhead;
+        rows.push_back({appName(app), fmt(same * 1e3, 1),
+                        fmt(cross * 1e3, 1),
+                        fmt(overhead, 1) + "%"});
+    }
+    printTable("Section 5.2: OpenWhisk workers in another "
+               "availability zone",
+               {"app", "same-AZ p99_ms", "cross-AZ p99_ms",
+                "overhead"},
+               rows);
+    std::printf("\nmean cross-AZ overhead increase: %.1f%% (paper: "
+                "overhead rises to 23.2%% on average)\n",
+                sum_overhead / 3.0);
+    return 0;
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Figure 7: tail latency under dynamic workload (burst reduction).
+ *
+ * For each app and scaling solution, clients run at near-peak load;
+ * at t=60 s the workload doubles. The bench prints the per-second
+ * p99 series Figure 7 plots, plus the stabilization summary of
+ * Section 5.2: cold-FaaS stabilization averaging ~9 s (OpenWhisk) /
+ * ~16 s (Lambda) vs ~40-100 s for Fargate/EC2, sub-second when warm
+ * instances are cached, and the stabilized-p99 overhead of
+ * Semi-FaaS execution (+15% OpenWhisk / +31% Lambda vs EC2).
+ */
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "harness/burst.h"
+#include "harness/report.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using namespace beehive::bench;
+using sim::SimTime;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+
+    const Solution solutions[] = {
+        Solution::Burstable, Solution::OnDemand, Solution::Fargate,
+        Solution::BeeHiveO, Solution::BeeHiveL,
+    };
+
+    std::map<AppKind, std::map<Solution, BurstResult>> results;
+    std::map<AppKind, std::map<Solution, BurstResult>> warm_results;
+
+    for (AppKind app : kAllApps) {
+        for (Solution sol : solutions) {
+            BurstOptions opts;
+            opts.app = app;
+            opts.solution = sol;
+            opts.seed = args.seed;
+            opts.framework = benchFramework();
+            if (args.quick) {
+                opts.duration = SimTime::sec(90);
+                opts.burst_at = SimTime::sec(30);
+            }
+            results[app][sol] = runBurstExperiment(opts);
+            if (sol == Solution::BeeHiveO ||
+                sol == Solution::BeeHiveL) {
+                opts.warm_faas = true;
+                warm_results[app][sol] = runBurstExperiment(opts);
+            }
+        }
+    }
+
+    // --- The figure series.
+    for (AppKind app : kAllApps) {
+        printSeriesHeader(
+            std::string("Figure 7: per-second p99, ") + appName(app),
+            "second", "p99_s");
+        for (Solution sol : solutions) {
+            const BurstResult &r = results[app][sol];
+            std::vector<double> xs(r.p99_per_second.size());
+            for (std::size_t i = 0; i < xs.size(); ++i)
+                xs[i] = static_cast<double>(i);
+            printSeries(solutionName(sol), xs, r.p99_per_second);
+        }
+    }
+
+    // --- Stabilization summary.
+    std::vector<std::vector<std::string>> rows;
+    for (AppKind app : kAllApps) {
+        for (Solution sol : solutions) {
+            const BurstResult &r = results[app][sol];
+            rows.push_back(
+                {appName(app), solutionName(sol),
+                 fmt(r.stabilization_seconds, 2),
+                 fmt(r.pre_burst_p99 * 1e3, 1),
+                 fmt(r.stable_p99 * 1e3, 1),
+                 fmt(static_cast<double>(r.completed_requests), 0)});
+        }
+    }
+    printTable("Figure 7 summary: stabilization after the burst",
+               {"app", "solution", "stabilize_s", "preburst_p99_ms",
+                "stable_p99_ms", "requests"},
+               rows);
+
+    // --- Warm-boot (cached instances) variant: the sub-second
+    // provisioning headline.
+    rows.clear();
+    for (AppKind app : kAllApps) {
+        for (Solution sol : {Solution::BeeHiveO, Solution::BeeHiveL}) {
+            const BurstResult &r = warm_results[app][sol];
+            rows.push_back({appName(app), solutionName(sol),
+                            fmt(r.stabilization_seconds * 1e3, 0),
+                            fmt(r.stable_p99 * 1e3, 1)});
+        }
+    }
+    printTable("Figure 7 follow-up: warm (cached) FaaS instances",
+               {"app", "solution", "stabilize_ms", "stable_p99_ms"},
+               rows);
+
+    // --- Headline aggregates (Section 5.2).
+    auto mean_stab = [&](Solution sol, bool warm) {
+        double sum = 0;
+        int n = 0;
+        for (AppKind app : kAllApps) {
+            const BurstResult &r =
+                warm ? warm_results[app][sol] : results[app][sol];
+            if (r.stabilization_seconds >= 0) {
+                sum += r.stabilization_seconds;
+                ++n;
+            }
+        }
+        return n ? sum / n : -1.0;
+    };
+    auto mean_overhead_vs = [&](Solution sol, Solution base) {
+        double sum = 0;
+        int n = 0;
+        for (AppKind app : kAllApps) {
+            double b = results[app][base].stable_p99;
+            double s = results[app][sol].stable_p99;
+            if (b > 0 && s > 0) {
+                sum += (s - b) / b;
+                ++n;
+            }
+        }
+        return n ? sum / n * 100.0 : 0.0;
+    };
+
+    std::printf("\n== Section 5.2 headline numbers ==\n");
+    std::printf("mean stabilization (cold): BeeHiveO %.2f s (paper "
+                "9.33 s), BeeHiveL %.2f s (paper 16.33 s),\n"
+                "  EC2 on-demand %.2f s, Fargate %.2f s\n",
+                mean_stab(Solution::BeeHiveO, false),
+                mean_stab(Solution::BeeHiveL, false),
+                mean_stab(Solution::OnDemand, false),
+                mean_stab(Solution::Fargate, false));
+    std::printf("mean stabilization (warm FaaS): BeeHiveO %.0f ms "
+                "(paper 632.78 ms), BeeHiveL %.0f ms (paper "
+                "668.56 ms)\n",
+                mean_stab(Solution::BeeHiveO, true) * 1e3,
+                mean_stab(Solution::BeeHiveL, true) * 1e3);
+    std::printf("stabilized p99 overhead vs EC2: BeeHiveO %+.1f%% "
+                "(paper +15.0%%), BeeHiveL %+.1f%% (paper "
+                "+31.0%%)\n",
+                mean_overhead_vs(Solution::BeeHiveO,
+                                 Solution::OnDemand),
+                mean_overhead_vs(Solution::BeeHiveL,
+                                 Solution::OnDemand));
+    return 0;
+}

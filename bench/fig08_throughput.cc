@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 8: latency under various throughput settings.
+ *
+ * Open-loop sweeps per app for Vanilla, BeeHive-Single (barriers
+ * on, offloading off: the ~7% pybbs peak-throughput cost), and
+ * BeeHive on OpenWhisk / Lambda. Vanilla and BeeHive-Single sweep
+ * up to the single server's saturation; the offloading
+ * configurations keep going far beyond it (the paper reports
+ * saturated throughput ~9.4x the always-on baseline).
+ */
+
+#include "bench/bench_common.h"
+#include "harness/report.h"
+#include "harness/throughput.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using namespace beehive::bench;
+using sim::SimTime;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+
+    for (AppKind app : kAllApps) {
+        double sat = saturationRps(app);
+        std::vector<double> local_rates, offload_rates;
+        for (double f : {0.3, 0.6, 0.85, 1.0, 1.1})
+            local_rates.push_back(sat * f);
+        for (double f : {0.5, 1.0, 1.5, 2.5, 4.0, 6.0})
+            offload_rates.push_back(sat * f);
+        if (args.quick) {
+            local_rates = {sat * 0.5, sat * 1.0};
+            offload_rates = {sat * 0.5, sat * 2.0};
+        }
+
+        ThroughputOptions opts;
+        opts.app = app;
+        opts.seed = args.seed;
+        opts.framework = benchFramework();
+        if (args.quick) {
+            opts.duration = SimTime::sec(15);
+            opts.warmup = SimTime::sec(6);
+        }
+        // Offloading sweeps need enough function concurrency for
+        // the top rates; lean per-function heaps keep hundreds of
+        // simulated VMs affordable.
+        opts.beehive.function_closure_bytes = 3u << 20;
+        opts.beehive.function_alloc_bytes = 3u << 20;
+
+        printSeriesHeader(std::string("Figure 8: ") + appName(app),
+                          "rps", "latency_s");
+        struct Sweep
+        {
+            ThroughputConfig config;
+            const std::vector<double> &rates;
+        };
+        const Sweep sweeps[] = {
+            {ThroughputConfig::Vanilla, local_rates},
+            {ThroughputConfig::BeeHiveSingle, local_rates},
+            {ThroughputConfig::BeeHiveO, offload_rates},
+            {ThroughputConfig::BeeHiveL, offload_rates},
+        };
+        std::vector<std::vector<std::string>> rows;
+        for (const Sweep &sweep : sweeps) {
+            opts.config = sweep.config;
+            auto points = runThroughputSweep(opts, sweep.rates);
+            std::vector<double> xs, mean_s, p99_s;
+            for (const auto &p : points) {
+                xs.push_back(p.achieved_rps);
+                mean_s.push_back(p.mean_latency);
+                p99_s.push_back(p.p99_latency);
+                rows.push_back({appName(app),
+                                throughputConfigName(sweep.config),
+                                fmt(p.offered_rps, 0),
+                                fmt(p.achieved_rps, 1),
+                                fmt(p.mean_latency * 1e3, 1),
+                                fmt(p.p99_latency * 1e3, 1)});
+            }
+            printSeries(throughputConfigName(sweep.config), xs,
+                        mean_s);
+        }
+        printTable(std::string("Figure 8 points: ") + appName(app),
+                   {"app", "config", "offered", "achieved",
+                    "mean_ms", "p99_ms"},
+                   rows);
+    }
+    return 0;
+}

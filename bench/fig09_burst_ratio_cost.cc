@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 9: per-hour cost at various burst ratios.
+ *
+ * The burstable instance is reserved around the clock, so its cost
+ * is flat; on-demand solutions (EC2, Fargate, BeeHive on either
+ * platform) pay only while the burst is active. The bench measures
+ * each solution's cost *rate during an active burst* from a Figure
+ * 7-style run, then composes the hourly cost for burst ratios
+ * 10-100%. Paper landmarks: BeeHiveL crosses below Burstable near a
+ * 30% ratio and is 3.47x cheaper at 10% (pybbs); blog/thumbnail
+ * reach 4.33x/2.89x (2.60x/3.47x on OpenWhisk).
+ */
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "harness/burst.h"
+#include "harness/report.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using namespace beehive::bench;
+using sim::SimTime;
+
+namespace {
+
+/** $/hour while a burst is being absorbed, measured from one run. */
+double
+burstRate(AppKind app, Solution sol, const BenchArgs &args)
+{
+    BurstOptions opts;
+    opts.app = app;
+    opts.solution = sol;
+    opts.seed = args.seed;
+    opts.framework = benchFramework();
+    if (args.quick) {
+        opts.duration = SimTime::sec(90);
+        opts.burst_at = SimTime::sec(30);
+    }
+    BurstResult r = runBurstExperiment(opts);
+    double burst_seconds =
+        (opts.duration - opts.burst_at).toSeconds();
+    return r.scaling_cost / burst_seconds * 3600.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+
+    const Solution on_demand_solutions[] = {
+        Solution::OnDemand, Solution::Fargate, Solution::BeeHiveO,
+        Solution::BeeHiveL,
+    };
+
+    // Figure 9 proper uses pybbs.
+    std::map<Solution, double> rate;
+    for (Solution sol : on_demand_solutions)
+        rate[sol] = burstRate(AppKind::Pybbs, sol, args);
+    double burstable_hourly = cloud::t3XLarge().price_per_hour;
+
+    std::vector<double> ratios;
+    for (int pct = 10; pct <= 100; pct += 10)
+        ratios.push_back(pct / 100.0);
+
+    printSeriesHeader("Figure 9: hourly cost vs burst ratio (pybbs)",
+                      "burst_ratio", "cost_usd_per_hour");
+    std::vector<double> flat(ratios.size(), burstable_hourly);
+    printSeries("Burstable", ratios, flat);
+    for (Solution sol : on_demand_solutions) {
+        std::vector<double> ys;
+        for (double r : ratios)
+            ys.push_back(rate[sol] * r);
+        printSeries(solutionName(sol), ratios, ys);
+    }
+
+    // Crossover of BeeHiveL vs Burstable.
+    double crossover = rate[Solution::BeeHiveL] > 0
+                           ? burstable_hourly /
+                                 rate[Solution::BeeHiveL]
+                           : -1;
+    std::printf("\nBeeHiveL/Burstable crossover at burst ratio "
+                "%.0f%% (paper: ~30%%)\n",
+                crossover * 100.0);
+    std::printf("cost reduction at 10%% burst ratio (pybbs): "
+                "Lambda %.2fx (paper 3.47x), OpenWhisk %.2fx "
+                "(paper 2.08x)\n",
+                burstable_hourly /
+                    (rate[Solution::BeeHiveL] * 0.10),
+                burstable_hourly /
+                    (rate[Solution::BeeHiveO] * 0.10));
+
+    // The other two apps at the 10% ratio (Section 5.4's closing
+    // comparison).
+    for (AppKind app : {AppKind::Blog, AppKind::Thumbnail}) {
+        double lam = burstRate(app, Solution::BeeHiveL, args);
+        double ow = burstRate(app, Solution::BeeHiveO, args);
+        std::printf("cost reduction at 10%% burst ratio (%s): "
+                    "Lambda %.2fx, OpenWhisk %.2fx\n",
+                    appName(app), burstable_hourly / (lam * 0.10),
+                    burstable_hourly / (ow * 0.10));
+    }
+    return 0;
+}

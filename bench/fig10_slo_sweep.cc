@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Figure 10: tail latency under various SLOs (blog).
+ *
+ * A fixed offered load runs against the vanilla server and both
+ * BeeHive configurations while an SLO controller adjusts the
+ * offloading ratio ("all scaling solutions continuously offload
+ * more requests until [the SLO] is satisfied"). We report the
+ * achieved p99 per SLO requirement: as the SLO tightens, BeeHive
+ * tracks it until the Semi-FaaS execution overhead puts the
+ * strictest targets out of reach -- the vanilla server (if it can
+ * sustain the load at all) sets the floor.
+ */
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "harness/report.h"
+#include "harness/testbed.h"
+#include "harness/throughput.h"
+#include "workload/clients.h"
+#include "workload/slo.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using namespace beehive::bench;
+using sim::SimTime;
+
+namespace {
+
+double
+achievedP99(ThroughputConfig config, double slo_s, double rps,
+            const BenchArgs &args)
+{
+    TestbedOptions tb;
+    tb.app = AppKind::Blog;
+    tb.seed = args.seed;
+    tb.vanilla = config == ThroughputConfig::Vanilla;
+    tb.faas = config == ThroughputConfig::BeeHiveL
+                  ? FaasFlavor::Lambda
+                  : FaasFlavor::OpenWhisk;
+    tb.framework = benchFramework();
+    Testbed bed(tb);
+    if (!tb.vanilla && !bed.runProfilingPhase())
+        return NAN;
+    SimTime t0 = bed.sim().now();
+    SimTime duration =
+        args.quick ? SimTime::sec(40) : SimTime::sec(80);
+
+    workload::Recorder recorder;
+    recorder.setWarmupCutoff(t0 + duration * 0.5);
+    workload::OpenLoopArrivals arrivals(bed.sim(), bed.sink(),
+                                        recorder);
+    arrivals.run(rps, t0, t0 + duration);
+
+    workload::SloController controller(
+        bed.sim(), recorder, [&](double ratio) {
+            if (bed.manager())
+                bed.manager()->setOffloadRatio(ratio);
+        });
+    controller.setSlo(slo_s);
+    controller.setStep(0.15);
+    if (!tb.vanilla) {
+        // Warm start: a moderate initial ratio spins instances up
+        // during the warmup window.
+        controller.setInitialRatio(0.3);
+        bed.manager()->setOffloadRatio(0.3);
+        controller.run(t0 + SimTime::sec(2), t0 + duration);
+    }
+
+    bed.sim().runUntil(t0 + duration + SimTime::sec(3));
+    return recorder.latencies().percentile(99);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+
+    // Offered load above single-server comfort so that meeting the
+    // SLO requires offloading.
+    double rps = 0.9 * saturationRps(AppKind::Blog);
+    std::vector<double> slos_ms = {120, 90, 70, 50, 40, 30};
+    if (args.quick)
+        slos_ms = {90, 40};
+
+    const ThroughputConfig configs[] = {
+        ThroughputConfig::Vanilla, ThroughputConfig::BeeHiveO,
+        ThroughputConfig::BeeHiveL,
+    };
+
+    printSeriesHeader("Figure 10: achieved p99 vs SLO (blog)",
+                      "slo_ms", "p99_ms");
+    std::vector<std::vector<std::string>> rows;
+    for (ThroughputConfig config : configs) {
+        std::vector<double> xs, ys;
+        for (double slo_ms : slos_ms) {
+            double p99 =
+                achievedP99(config, slo_ms / 1e3, rps, args);
+            xs.push_back(slo_ms);
+            ys.push_back(p99 * 1e3);
+            rows.push_back({throughputConfigName(config),
+                            fmt(slo_ms, 0), fmt(p99 * 1e3, 1),
+                            p99 * 1e3 <= slo_ms ? "met" : "missed"});
+        }
+        printSeries(throughputConfigName(config), xs, ys);
+    }
+    printTable("Figure 10 points",
+               {"config", "slo_ms", "p99_ms", "verdict"}, rows);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 3: financial cost for the Figure 7 scaling runs.
+ *
+ * Re-runs the burst scenario per app and solution and reports the
+ * scaling-related dollars accrued over the 3-minute run: always-on
+ * burstable billing from t=0, on-demand/Fargate machine-hours from
+ * launch, and FaaS GB-seconds + invocation fees. Paper values:
+ * EC2 0.007 / Fargate 0.008 / Burstable 0.005 across apps;
+ * BeeHiveO 0.010-0.017, BeeHiveL 0.008-0.012.
+ */
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "harness/burst.h"
+#include "harness/report.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using namespace beehive::bench;
+using sim::SimTime;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+    const Solution solutions[] = {
+        Solution::OnDemand, Solution::Fargate, Solution::Burstable,
+        Solution::BeeHiveO, Solution::BeeHiveL,
+    };
+
+    std::map<Solution, std::map<AppKind, double>> cost;
+    for (Solution sol : solutions) {
+        for (AppKind app : kAllApps) {
+            BurstOptions opts;
+            opts.app = app;
+            opts.solution = sol;
+            opts.seed = args.seed;
+            opts.framework = benchFramework();
+            if (args.quick) {
+                opts.duration = SimTime::sec(90);
+                opts.burst_at = SimTime::sec(30);
+            }
+            cost[sol][app] = runBurstExperiment(opts).scaling_cost;
+        }
+    }
+
+    const double paper[][3] = {
+        {0.007, 0.007, 0.007}, // EC2
+        {0.008, 0.008, 0.008}, // Fargate
+        {0.005, 0.005, 0.005}, // Burstable
+        {0.010, 0.017, 0.013}, // BeeHiveO
+        {0.012, 0.010, 0.008}, // BeeHiveL
+    };
+
+    std::vector<std::vector<std::string>> rows;
+    int i = 0;
+    for (Solution sol : solutions) {
+        rows.push_back({solutionName(sol),
+                        fmt(cost[sol][AppKind::Thumbnail], 4),
+                        fmt(cost[sol][AppKind::Pybbs], 4),
+                        fmt(cost[sol][AppKind::Blog], 4),
+                        fmt(paper[i][0], 3) + "/" +
+                            fmt(paper[i][1], 3) + "/" +
+                            fmt(paper[i][2], 3)});
+        ++i;
+    }
+    printTable("Table 3: financial cost ($) for scaling in Figure 7",
+               {"Scaling solution", "thumbnail", "pybbs", "blog",
+                "paper (t/p/b)"},
+               rows);
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Table 4: minimal tail latency under a fixed throughput.
+ *
+ * For each app at the paper's fixed offered rates (50/170/130 rps
+ * scaled to this testbed's saturation ratios), the vanilla server
+ * is measured directly while the BeeHive configurations search a
+ * grid of offloading ratios for the one minimizing p99. Paper rows
+ * (ms): Vanilla 41.41/34.77/26.72, BeeHiveO 41.99/43.81/29.69,
+ * BeeHiveL 41.00/68.30/42.56 -- i.e. +12.8% avg on OpenWhisk,
+ * +51.6% on Lambda.
+ */
+
+#include "bench/bench_common.h"
+#include "harness/report.h"
+#include "harness/throughput.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using namespace beehive::bench;
+using sim::SimTime;
+
+namespace {
+
+/** Fixed offered rate per app: the same fraction of saturation the
+ * paper's 50/170/130 rps represent on its testbed. */
+double
+fixedRate(AppKind app)
+{
+    switch (app) {
+      case AppKind::Thumbnail: return 0.35 * saturationRps(app);
+      case AppKind::Pybbs: return 0.35 * saturationRps(app);
+      case AppKind::Blog: return 0.35 * saturationRps(app);
+    }
+    return 50.0;
+}
+
+double
+minTailMs(AppKind app, ThroughputConfig config, const BenchArgs &args)
+{
+    ThroughputOptions opts;
+    opts.app = app;
+    opts.config = config;
+    opts.seed = args.seed;
+    opts.framework = benchFramework();
+    if (args.quick) {
+        opts.duration = SimTime::sec(15);
+        opts.warmup = SimTime::sec(6);
+    }
+    double rate = fixedRate(app);
+    if (config == ThroughputConfig::Vanilla) {
+        return runThroughputPoint(opts, rate).p99_latency * 1e3;
+    }
+    // Search offloading ratios for the minimal tail. BeeHive rows
+    // measure the *offloaded* configuration, so the grid excludes
+    // zero: the question is how cheap offloading can be made, not
+    // whether turning it off recovers the vanilla number.
+    double best = 1e9;
+    std::vector<double> grid = {0.3, 0.5, 0.7};
+    if (args.quick)
+        grid = {0.5};
+    for (double ratio : grid) {
+        opts.offload_ratio = ratio;
+        double p99 = runThroughputPoint(opts, rate).p99_latency * 1e3;
+        best = std::min(best, p99);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv);
+
+    const ThroughputConfig configs[] = {
+        ThroughputConfig::Vanilla, ThroughputConfig::BeeHiveO,
+        ThroughputConfig::BeeHiveL,
+    };
+    const double paper[][3] = {
+        {41.41, 34.77, 26.72},
+        {41.99, 43.81, 29.69},
+        {41.00, 68.30, 42.56},
+    };
+
+    double measured[3][3];
+    std::vector<std::vector<std::string>> rows;
+    int ci = 0;
+    for (ThroughputConfig config : configs) {
+        int ai = 0;
+        for (AppKind app : kAllApps)
+            measured[ci][ai++] = minTailMs(app, config, args);
+        rows.push_back({throughputConfigName(config),
+                        fmt(measured[ci][0], 2),
+                        fmt(measured[ci][1], 2),
+                        fmt(measured[ci][2], 2),
+                        fmt(paper[ci][0], 2) + "/" +
+                            fmt(paper[ci][1], 2) + "/" +
+                            fmt(paper[ci][2], 2)});
+        ++ci;
+    }
+    printTable("Table 4: minimal tail latency (ms) under a fixed "
+               "throughput",
+               {"Scaling solution", "thumbnail", "pybbs", "blog",
+                "paper (t/p/b)"},
+               rows);
+
+    auto avg_overhead = [&](int row) {
+        double sum = 0;
+        for (int a = 0; a < 3; ++a)
+            sum += (measured[row][a] - measured[0][a]) /
+                   measured[0][a];
+        return sum / 3 * 100.0;
+    };
+    std::printf("\nbest-achievable p99 overhead vs vanilla: "
+                "BeeHiveO %+.1f%% (paper +12.8%%), BeeHiveL "
+                "%+.1f%% (paper +51.6%%)\n",
+                avg_overhead(1), avg_overhead(2));
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Burst scaling: the paper's headline scenario as a runnable demo.
+ *
+ * Clients run the blog app at near-peak load; at t=30 s the load
+ * doubles. We run the same timeline twice -- once scaling with an
+ * on-demand EC2 instance, once with BeeHive raising its offloading
+ * ratio -- and print the two per-second p99 timelines side by side.
+ *
+ * Run: ./build/examples/burst_scaling
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness/burst.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using sim::SimTime;
+
+int
+main()
+{
+    BurstOptions common;
+    common.app = AppKind::Blog;
+    common.duration = SimTime::sec(180);
+    common.burst_at = SimTime::sec(30);
+
+    BurstOptions ec2 = common;
+    ec2.solution = Solution::OnDemand;
+    std::printf("running the EC2 on-demand baseline...\n");
+    BurstResult ec2_result = runBurstExperiment(ec2);
+
+    BurstOptions beehive = common;
+    beehive.solution = Solution::BeeHiveO;
+    std::printf("running BeeHive on OpenWhisk...\n");
+    BurstResult bh_result = runBurstExperiment(beehive);
+
+    std::printf("\n%6s  %14s  %14s\n", "t(s)", "EC2 p99(ms)",
+                "BeeHive p99(ms)");
+    for (std::size_t s = 20; s < ec2_result.p99_per_second.size();
+         s += 5) {
+        double a = ec2_result.p99_per_second[s] * 1e3;
+        double b = s < bh_result.p99_per_second.size()
+                       ? bh_result.p99_per_second[s] * 1e3
+                       : NAN;
+        std::printf("%6zu  %14.1f  %14.1f%s\n", s, a, b,
+                    s == 30 ? "   <-- burst (2x load)" : "");
+    }
+    std::printf("\nstabilization after the burst: EC2 %.0f s, "
+                "BeeHive %.0f s\n",
+                ec2_result.stabilization_seconds,
+                bh_result.stabilization_seconds);
+    std::printf("scaling cost over the run: EC2 $%.4f, BeeHive "
+                "$%.4f\n",
+                ec2_result.scaling_cost, bh_result.scaling_cost);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: assemble a BeeHive testbed, profile the application,
+ * and watch requests split between the server and FaaS functions.
+ *
+ * Run: ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "harness/testbed.h"
+#include "workload/clients.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using sim::SimTime;
+
+int
+main()
+{
+    // 1. Build the environment: an m4.xlarge server, the database
+    //    machine with its connection proxy, the pybbs forum app on
+    //    the mini web framework, and an OpenWhisk-style FaaS
+    //    platform.
+    TestbedOptions options;
+    options.app = AppKind::Pybbs;
+    options.faas = FaasFlavor::OpenWhisk;
+    Testbed bed(options);
+
+    // 2. Profiling phase: the candidate profiler watches annotated
+    //    handlers and selects offloading roots (Section 4.3 of the
+    //    paper: large accumulated time, average not too short).
+    bool selected = bed.runProfilingPhase();
+    std::printf("profiler selected the comment handler: %s\n",
+                selected ? "yes" : "no");
+
+    // 3. Raise the offloading ratio -- the Semi-FaaS split: the
+    //    framework plumbing keeps running on the server while the
+    //    annotated handler's invocations go to FaaS functions.
+    bed.manager()->setOffloadRatio(0.6);
+
+    // 4. Drive some load and let the machinery work: closures,
+    //    shadow executions, fallbacks, proxied database rounds.
+    workload::Recorder recorder;
+    workload::ClosedLoopClients clients(bed.sim(), bed.sink(),
+                                        recorder);
+    clients.start(8, bed.sim().now());
+    bed.sim().runUntil(bed.sim().now() + SimTime::sec(30));
+    clients.stopAll();
+    bed.sim().runUntil(bed.sim().now() + SimTime::sec(2));
+
+    // 5. What happened?
+    const core::OffloadStats &stats = bed.manager()->stats();
+    std::printf("\nrequests completed: %llu\n",
+                (unsigned long long)recorder.completed());
+    std::printf("  served locally:   %llu\n",
+                (unsigned long long)stats.local);
+    std::printf("  offloaded:        %llu\n",
+                (unsigned long long)stats.offloaded);
+    std::printf("  shadow warmups:   %llu\n",
+                (unsigned long long)stats.shadows);
+    std::printf("function instances: %zu (cold boots %llu, warm "
+                "dispatches %llu)\n",
+                bed.platform()->totalInstances(),
+                (unsigned long long)bed.platform()->coldBoots(),
+                (unsigned long long)bed.platform()->warmBoots());
+    std::printf("mean latency %.1f ms, p99 %.1f ms\n",
+                recorder.latencies().mean() * 1e3,
+                recorder.latencies().percentile(99) * 1e3);
+    std::printf("database ops routed by the proxy: %llu (%llu from "
+                "offloaded functions)\n",
+                (unsigned long long)bed.proxy().stats().requests_routed,
+                (unsigned long long)bed.proxy().stats().offload_requests);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shadow execution up close: what the first offloaded invocation of
+ * a fresh function instance goes through, and why users never see
+ * it.
+ *
+ * We run pybbs twice -- once with shadow execution (the default),
+ * once with the naive first offload -- and print the first few
+ * invocation traces from the FaaS side: fallback counts, remote
+ * fetches, and durations. With shadows, the storm happens on a
+ * duplicate while the user's request is served locally.
+ *
+ * Run: ./build/examples/shadow_warmup
+ */
+
+#include <cstdio>
+
+#include "harness/testbed.h"
+#include "workload/clients.h"
+
+using namespace beehive;
+using namespace beehive::harness;
+using sim::SimTime;
+
+namespace {
+
+void
+runOnce(bool shadow_enabled)
+{
+    TestbedOptions options;
+    options.app = AppKind::Pybbs;
+    options.beehive.shadow_execution = shadow_enabled;
+    Testbed bed(options);
+    bed.runProfilingPhase();
+    bed.manager()->setOffloadRatio(1.0);
+
+    workload::Recorder recorder;
+    workload::ClosedLoopClients clients(bed.sim(), bed.sink(),
+                                        recorder);
+    clients.start(3, bed.sim().now());
+    bed.sim().runUntil(bed.sim().now() + SimTime::sec(20));
+    clients.stopAll();
+    bed.sim().runUntil(bed.sim().now() + SimTime::sec(3));
+
+    std::printf("\n=== shadow execution %s ===\n",
+                shadow_enabled ? "ENABLED" : "DISABLED (naive)");
+    std::printf("%7s %8s %9s %9s %11s\n", "trace", "kind",
+                "fallbacks", "fetches", "duration_ms");
+    int shown = 0;
+    for (const auto &[root, trace] : bed.manager()->traces()) {
+        if (shown >= 6)
+            break;
+        std::printf("%7d %8s %9llu %9llu %11.1f\n", shown,
+                    trace.shadow ? "shadow" : "real",
+                    (unsigned long long)trace.fallbacks,
+                    (unsigned long long)trace.remoteFetches(),
+                    trace.duration.toMillis());
+        ++shown;
+    }
+    std::printf("user-visible latency: mean %.1f ms, p99 %.1f ms, "
+                "worst %.1f ms\n",
+                recorder.latencies().mean() * 1e3,
+                recorder.latencies().percentile(99) * 1e3,
+                recorder.latencies().max() * 1e3);
+}
+
+} // namespace
+
+int
+main()
+{
+    runOnce(true);
+    runOnce(false);
+    std::printf("\nThe naive configuration exposes the cold boot + "
+                "JVM warmup + fallback storm to real users (the "
+                "long-tail problem, Section 3.4); the shadow "
+                "absorbs it on a duplicated request.\n");
+    return 0;
+}

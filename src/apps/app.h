@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Common interface of the evaluation web applications.
+ *
+ * Each app contributes one annotated handler (the offloading
+ * candidate), an interceptor-chain entry point (what the HTTP layer
+ * invokes), database seed data, and per-request argument synthesis.
+ * Requests are keyed by a single integer id from which each handler
+ * derives its workload deterministically.
+ */
+
+#ifndef BEEHIVE_APPS_APP_H
+#define BEEHIVE_APPS_APP_H
+
+#include "cloud/instance.h"
+#include "core/server.h"
+#include "db/record_store.h"
+#include "vm/program.h"
+
+namespace beehive::apps {
+
+/** Interface the experiment harness drives apps through. */
+class WebApp
+{
+  public:
+    virtual ~WebApp() = default;
+
+    /** Short identifier ("thumbnail", "pybbs", "blog"). */
+    virtual const char *name() const = 0;
+
+    /** The annotated business-logic handler (offload candidate). */
+    virtual vm::MethodId handler() const = 0;
+
+    /** The framework entry point wrapping the handler. */
+    virtual vm::MethodId entry() const = 0;
+
+    /** Populate the database tables the app expects. */
+    virtual void seedDatabase(db::RecordStore &store) const = 0;
+
+    /**
+     * Create the app's long-lived server-side state (shared
+     * statistics objects, caches) in the server heap. Runs once per
+     * server, after Framework::installOnServer.
+     */
+    virtual void installOnServer(core::BeeHiveServer &server) const = 0;
+
+    /**
+     * Lambda instance shape for this app (Section 5.1: thumbnail
+     * gets 2 GB because it is computation-intensive; others 1 GB).
+     */
+    virtual const cloud::InstanceType &
+    lambdaType() const
+    {
+        return cloud::lambda1G();
+    }
+};
+
+} // namespace beehive::apps
+
+#endif // BEEHIVE_APPS_APP_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The SpringBlog archive request (paper Section 5.1).
+ *
+ * An open-source blogging system of ~18k classes; the evaluated
+ * archive request "fetches a large number of records from databases
+ * and thus becomes I/O-intensive": big scans dominate its latency,
+ * computation is light, and it has a handful of synchronization
+ * points on shared cache state.
+ */
+
+#ifndef BEEHIVE_APPS_BLOG_H
+#define BEEHIVE_APPS_BLOG_H
+
+#include "apps/app.h"
+#include "apps/framework.h"
+
+namespace beehive::apps {
+
+/** The SpringBlog blogging system (archive request). */
+class BlogApp : public WebApp
+{
+  public:
+    explicit BlogApp(Framework &framework);
+
+    const char *name() const override { return "blog"; }
+    vm::MethodId handler() const override { return handler_; }
+    vm::MethodId entry() const override { return entry_; }
+    void seedDatabase(db::RecordStore &store) const override;
+    void installOnServer(core::BeeHiveServer &server) const override;
+
+    static constexpr int kPosts = 3000;
+    static constexpr int kScanRows = 120;
+    static constexpr int kScans = 4;
+    static constexpr int kGets = 6;
+    static constexpr int kLocks = 3;
+
+  private:
+    Framework &fw_;
+    vm::KlassId cache_k_ = vm::kNoKlass;
+    vm::MethodId handler_ = vm::kNoMethod;
+    vm::MethodId entry_ = vm::kNoMethod;
+};
+
+} // namespace beehive::apps
+
+#endif // BEEHIVE_APPS_BLOG_H

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The mini web framework ("Twig") the evaluation apps are built on.
+ *
+ * Real-world monolithic web services sit on Spring/MyBatis/HikariCP:
+ * annotation-driven handlers wrapped by dynamically generated
+ * interceptor stubs, reflection-heavy plumbing, and pooled stateful
+ * database connections. Twig reproduces those *measurable*
+ * properties inside HiveVM:
+ *
+ *   - handlers are annotated "RequestMapping" (the candidate filter
+ *     of Section 4.3);
+ *   - each handler is wrapped by a configurable-depth chain of
+ *     generated interceptor klasses, each consulting a
+ *     MethodInterceptor stub with many implementations (the paper
+ *     counts 287 generated classes and ~20 indirections for the
+ *     pybbs comment request, with 31 MethodInterceptor variants);
+ *   - the plumbing performs the four categories of native
+ *     invocations from Table 2: pure on-heap (System.arraycopy),
+ *     hidden-state (MethodAccessor.invoke0 on Method objects,
+ *     packageable), network (socketRead0/socketWrite0 on pooled
+ *     SocketImpl connections, packageable via the proxy ID), and
+ *     stateless (Thread.currentThread);
+ *   - a configuration-object graph hangs off framework statics,
+ *     sized per app; it is what the shadow execution's missing-data
+ *     fallbacks page in (Table 5).
+ *
+ * Fidelity: native-invocation loop counts can be divided by
+ * `native_scale` for long latency experiments, with the modelled
+ * per-iteration cost scaled up to preserve total service time.
+ * bench/table2 runs at scale 1 to reproduce the census.
+ */
+
+#ifndef BEEHIVE_APPS_FRAMEWORK_H
+#define BEEHIVE_APPS_FRAMEWORK_H
+
+#include <string>
+#include <vector>
+
+#include "core/server.h"
+#include "db/record_store.h"
+#include "proxy/connection_proxy.h"
+#include "vm/code_builder.h"
+#include "vm/natives.h"
+#include "vm/program.h"
+
+namespace beehive::apps {
+
+/** Fidelity and shape knobs shared by the apps. */
+struct FrameworkOptions
+{
+    /** Divide native-invocation loop counts by this factor. */
+    int native_scale = 100;
+    /** Interceptor chain depth in front of each handler. */
+    int interceptor_depth = 20;
+    /** Number of MethodInterceptor implementations. */
+    int stub_variants = 31;
+    /** Generated wrapper klasses per handler. */
+    int generated_klasses = 287;
+    /** Config-object graph size (shadow-phase data fetches). */
+    int config_objects = 1700;
+    /** Database connection pool size. */
+    int connection_pool = 8;
+};
+
+/** The framework instance embedded in one Program. */
+class Framework
+{
+  public:
+    /**
+     * Create the framework klasses and natives inside @p program.
+     */
+    Framework(vm::Program &program, vm::NativeRegistry &natives,
+              FrameworkOptions options);
+
+    /** @name Well-known klasses */
+    /// @{
+    vm::KlassId objectKlass() const { return object_k_; }
+    vm::KlassId bytesKlass() const { return bytes_k_; }
+    vm::KlassId arrayKlass() const { return array_k_; }
+    vm::KlassId stringKlass() const { return bytes_k_; }
+    vm::KlassId socketKlass() const { return socket_k_; }
+    vm::KlassId methodKlass() const { return method_k_; }
+    vm::KlassId configKlass() const { return config_k_; }
+    vm::KlassId dataSourceKlass() const { return datasource_k_; }
+    /// @}
+
+    const FrameworkOptions &options() const { return options_; }
+    vm::Program &program() { return program_; }
+
+    /** @name Native method ids (bytecode-callable wrappers) */
+    /// @{
+    vm::MethodId arraycopy() const { return arraycopy_m_; }
+    vm::MethodId invoke0() const { return invoke0_m_; }
+    vm::MethodId socketRead0() const { return socket_read_m_; }
+    vm::MethodId socketWrite0() const { return socket_write_m_; }
+    vm::MethodId currentThread() const { return current_thread_m_; }
+    /// @}
+
+    /**
+     * Emit the framework preamble into a handler wrapper: a loop of
+     * @p pure_calls arraycopy invocations, @p hidden_calls invoke0
+     * calls on the reflective Method object, and @p other_calls
+     * stateless natives -- all scaled by native_scale with the
+     * saved time re-charged as Compute. Local slot @p scratch_slot
+     * (and the next one) must be free.
+     */
+    void emitNativeMix(vm::CodeBuilder &b, int64_t pure_calls,
+                       int64_t hidden_calls, int64_t other_calls,
+                       int scratch_slot) const;
+
+    /**
+     * @name Database access wrappers (bytecode methods)
+     *
+     * Each performs one round trip over a connection: a bookkeeping
+     * socketWrite0 plus the blocking socketRead0 whose external
+     * completion returns the materialized response.
+     *
+     * Signatures (all return the response value):
+     *   - dbGet(conn, table_id, key)
+     *   - dbPut(conn, table_id, key, body_size)
+     *   - dbScan(conn, table_id, offset, limit)
+     *   - dbCount(conn, table_id)
+     *   - dbDelete(conn, table_id, key)
+     * where table_id is a string-pool index from tableId().
+     */
+    /// @{
+    vm::MethodId dbGet() const { return db_get_m_; }
+    vm::MethodId dbPut() const { return db_put_m_; }
+    vm::MethodId dbScan() const { return db_scan_m_; }
+    vm::MethodId dbCount() const { return db_count_m_; }
+    vm::MethodId dbDelete() const { return db_delete_m_; }
+
+    /** Intern a table name; pass the id to the db wrappers. */
+    int64_t tableId(const std::string &table);
+    /// @}
+
+    /**
+     * Emit code pushing a pooled connection object onto the stack,
+     * selected by the int in local slot @p request_id_slot.
+     */
+    void emitGetConnection(vm::CodeBuilder &b,
+                           int request_id_slot) const;
+
+    /**
+     * Emit a walk of the first @p touch config objects (loads that
+     * page in the config graph on FaaS). Scratch slots s, s+1 free.
+     */
+    void emitConfigWalk(vm::CodeBuilder &b, int touch,
+                        int scratch_slot) const;
+
+    /**
+     * Wrap @p handler in the generated interceptor chain and return
+     * the outermost entry method. The entry has the same signature
+     * as the handler.
+     */
+    vm::MethodId wrapWithInterceptors(const std::string &name,
+                                      vm::MethodId handler);
+
+    /**
+     * Server-side installation: seed framework statics (connection
+     * pool via the proxy, reflective Method objects, the config
+     * graph) into the server heap and register the packageable
+     * marshal hooks. Must run once per server before requests.
+     */
+    void installOnServer(core::BeeHiveServer &server,
+                         proxy::ConnectionProxy &proxy);
+
+    /**
+     * Point a BeeHiveConfig's VM templates at this framework's
+     * well-known klasses. Call before constructing the server.
+     */
+    void
+    applyVmDefaults(core::BeeHiveConfig &config) const
+    {
+        config.server_vm.bytes_klass = bytes_k_;
+        config.server_vm.array_klass = array_k_;
+        config.function_vm.bytes_klass = bytes_k_;
+        config.function_vm.array_klass = array_k_;
+    }
+
+    /** Statics layout of the DataSource klass. */
+    enum DataSourceStatics : uint32_t
+    {
+        kDsConnPool = 0,   //!< array of SocketImpl objects
+        kDsMethodObj = 1,  //!< reflective Method object
+        kDsConfigRoot = 2, //!< head of the config-object list
+        kDsStaticCount = 3,
+    };
+
+    /** Field layout of Config nodes. */
+    enum ConfigFields : uint32_t
+    {
+        kCfgNext = 0,
+        kCfgPayload = 1,
+        kCfgValue = 2,
+    };
+
+  private:
+    void defineKlasses();
+    void defineNatives(vm::NativeRegistry &natives);
+    vm::MethodId addNativeMethod(vm::KlassId owner,
+                                 const std::string &name,
+                                 uint16_t num_args, uint32_t native_id,
+                                 vm::NativeCategory category);
+
+    vm::Program &program_;
+    FrameworkOptions options_;
+
+    vm::KlassId object_k_ = vm::kNoKlass;
+    vm::KlassId bytes_k_ = vm::kNoKlass;
+    vm::KlassId array_k_ = vm::kNoKlass;
+    vm::KlassId socket_k_ = vm::kNoKlass;
+    vm::KlassId method_k_ = vm::kNoKlass;
+    vm::KlassId config_k_ = vm::kNoKlass;
+    vm::KlassId datasource_k_ = vm::kNoKlass;
+    vm::KlassId thread_k_ = vm::kNoKlass;
+
+    vm::MethodId arraycopy_m_ = vm::kNoMethod;
+    vm::MethodId invoke0_m_ = vm::kNoMethod;
+    vm::MethodId socket_read_m_ = vm::kNoMethod;
+    vm::MethodId socket_write_m_ = vm::kNoMethod;
+    vm::MethodId current_thread_m_ = vm::kNoMethod;
+    vm::MethodId db_get_m_ = vm::kNoMethod;
+    vm::MethodId db_put_m_ = vm::kNoMethod;
+    vm::MethodId db_scan_m_ = vm::kNoMethod;
+    vm::MethodId db_count_m_ = vm::kNoMethod;
+    vm::MethodId db_delete_m_ = vm::kNoMethod;
+    vm::KlassId db_k_ = vm::kNoKlass;
+    std::vector<vm::KlassId> wrapper_klasses_;
+    std::vector<vm::KlassId> stub_klasses_;
+};
+
+/** Field layout of the SocketImpl klass. */
+enum SocketImplFields : uint32_t
+{
+    kSockToken = core::kSocketFieldToken, //!< ConnId / OffloadId
+};
+
+} // namespace beehive::apps
+
+#endif // BEEHIVE_APPS_FRAMEWORK_H

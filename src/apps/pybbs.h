@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The pybbs forum's comment request (paper Sections 2, 5.1).
+ *
+ * pybbs is the paper's running example: an enterprise-level forum
+ * of ~25k classes whose comment request mixes I/O and computation:
+ * >80 database round trips (Section 3.3), the Table 2 native census
+ * (226643 pure on-heap / 34749 hidden-state / 248 network / 415
+ * other invocations), a deep generated interceptor chain, and
+ * monitor synchronization on shared forum state (the app with the
+ * most sync fallbacks and synchronized objects in Table 5).
+ */
+
+#ifndef BEEHIVE_APPS_PYBBS_H
+#define BEEHIVE_APPS_PYBBS_H
+
+#include "apps/app.h"
+#include "apps/framework.h"
+
+namespace beehive::apps {
+
+/** The pybbs forum (comment request). */
+class PybbsApp : public WebApp
+{
+  public:
+    explicit PybbsApp(Framework &framework);
+
+    const char *name() const override { return "pybbs"; }
+    vm::MethodId handler() const override { return handler_; }
+    vm::MethodId entry() const override { return entry_; }
+    void seedDatabase(db::RecordStore &store) const override;
+    void installOnServer(core::BeeHiveServer &server) const override;
+
+    /** Table 2 census constants (full-fidelity counts). */
+    static constexpr int64_t kPureOnHeap = 226643;
+    static constexpr int64_t kHiddenState = 34749;
+    static constexpr int64_t kNetwork = 248;
+    static constexpr int64_t kOthers = 415;
+
+    static constexpr int kUsers = 5000;
+    static constexpr int kTopics = 2000;
+    static constexpr int kDbRounds = 80;
+    static constexpr int kLocks = 7;
+
+  private:
+    Framework &fw_;
+    vm::KlassId shared_k_ = vm::kNoKlass;
+    vm::MethodId handler_ = vm::kNoMethod;
+    vm::MethodId entry_ = vm::kNoMethod;
+};
+
+} // namespace beehive::apps
+
+#endif // BEEHIVE_APPS_PYBBS_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The thumbnail image-processing service (paper Section 5.1).
+ *
+ * A self-developed Spring micro-benchmark: each request fetches an
+ * image record, runs a computation-intensive resampling kernel
+ * (~35 ms of CPU with heavy buffer churn), updates a shared
+ * statistics object under its monitor, and stores the thumbnail.
+ * It is the computation-bound member of the app trio and runs in
+ * 2 GB Lambda instances.
+ */
+
+#ifndef BEEHIVE_APPS_THUMBNAIL_H
+#define BEEHIVE_APPS_THUMBNAIL_H
+
+#include "apps/app.h"
+#include "apps/framework.h"
+
+namespace beehive::apps {
+
+/** The thumbnail web service. */
+class ThumbnailApp : public WebApp
+{
+  public:
+    /** Build the app's klasses and methods into the framework. */
+    explicit ThumbnailApp(Framework &framework);
+
+    const char *name() const override { return "thumbnail"; }
+    vm::MethodId handler() const override { return handler_; }
+    vm::MethodId entry() const override { return entry_; }
+    void seedDatabase(db::RecordStore &store) const override;
+    void installOnServer(core::BeeHiveServer &server) const override;
+
+    const cloud::InstanceType &
+    lambdaType() const override
+    {
+        return cloud::lambda2G();
+    }
+
+    /** Number of seeded image rows. */
+    static constexpr int kImages = 1000;
+
+  private:
+    Framework &fw_;
+    vm::KlassId stats_k_ = vm::kNoKlass;
+    vm::MethodId handler_ = vm::kNoMethod;
+    vm::MethodId entry_ = vm::kNoMethod;
+};
+
+} // namespace beehive::apps
+
+#endif // BEEHIVE_APPS_THUMBNAIL_H

@@ -1,0 +1,36 @@
+#include "cloud/billing.h"
+
+namespace beehive::cloud {
+
+void
+CostReport::add(const std::string &name, double dollars)
+{
+    for (auto &line : lines_) {
+        if (line.name == name) {
+            line.dollars += dollars;
+            return;
+        }
+    }
+    lines_.push_back(CostLine{name, dollars});
+}
+
+double
+CostReport::total() const
+{
+    double sum = 0.0;
+    for (const auto &line : lines_)
+        sum += line.dollars;
+    return sum;
+}
+
+double
+CostReport::get(const std::string &name) const
+{
+    for (const auto &line : lines_) {
+        if (line.name == name)
+            return line.dollars;
+    }
+    return 0.0;
+}
+
+} // namespace beehive::cloud

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Cost aggregation for the financial analyses (Table 3, Figure 9).
+ *
+ * Scaling solutions accrue cost in their own meters
+ * (InstanceScaler::accruedCost, FaasPlatform::accruedCost); a
+ * CostReport collects named line items so benches can print the
+ * paper's tables uniformly.
+ */
+
+#ifndef BEEHIVE_CLOUD_BILLING_H
+#define BEEHIVE_CLOUD_BILLING_H
+
+#include <string>
+#include <vector>
+
+namespace beehive::cloud {
+
+/** One named cost entry. */
+struct CostLine
+{
+    std::string name;
+    double dollars = 0.0;
+};
+
+/** A bag of cost line items. */
+class CostReport
+{
+  public:
+    void add(const std::string &name, double dollars);
+
+    double total() const;
+    const std::vector<CostLine> &lines() const { return lines_; }
+
+    /** Dollars for a named line (0 when absent). */
+    double get(const std::string &name) const;
+
+  private:
+    std::vector<CostLine> lines_;
+};
+
+} // namespace beehive::cloud
+
+#endif // BEEHIVE_CLOUD_BILLING_H

@@ -1,0 +1,204 @@
+#include "cloud/faas.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace beehive::cloud {
+
+FaasProfile
+openWhiskProfile()
+{
+    FaasProfile p;
+    p.name = "OpenWhisk";
+    p.instance_type = m4Large();
+    p.zone = "vpc"; // workers are EC2 instances in the same VPC
+    p.cold_boot_mean = sim::SimTime::msec(980);
+    p.cold_boot_jitter = sim::SimTime::msec(150);
+    p.warm_boot = sim::SimTime::msec(35);
+    // Self-hosted: billed like the EC2 instances it runs on; the
+    // cost analysis (Section 5.4) assumes each instance is priced
+    // as an EC2 on-demand one, handled via gb-second equivalent.
+    p.price_per_gb_second = m4Large().price_per_hour / 3600.0 /
+                            m4Large().memory_gb;
+    p.price_per_minvoke = 0.0;
+    return p;
+}
+
+FaasProfile
+lambdaProfile(double memory_gb)
+{
+    FaasProfile p;
+    p.name = "Lambda";
+    p.instance_type = memory_gb >= 2.0 ? lambda2G() : lambda1G();
+    p.zone = "lambda";
+    p.cold_boot_mean = sim::SimTime::msec(900);
+    p.cold_boot_jitter = sim::SimTime::msec(200);
+    p.warm_boot = sim::SimTime::msec(50);
+    p.price_per_gb_second = 0.0000166667;
+    p.price_per_minvoke = 0.20;
+    return p;
+}
+
+FaasPlatform::FaasPlatform(sim::Simulation &sim, net::Network &net,
+                           FaasProfile profile)
+    : sim_(sim), net_(net), profile_(std::move(profile)),
+      rng_(sim.rng().fork())
+{
+}
+
+FunctionInstance *
+FaasPlatform::findWarm()
+{
+    for (auto &inst : instances_) {
+        if (!inst->in_use && inst->machine) {
+            // Expired cache entries are treated as destroyed.
+            if (sim_.now() - inst->idle_since > profile_.keep_alive) {
+                inst->machine.reset();
+                inst->runtime_state.reset();
+                continue;
+            }
+            return inst.get();
+        }
+    }
+    return nullptr;
+}
+
+FunctionInstance &
+FaasPlatform::launch()
+{
+    auto inst = std::make_unique<FunctionInstance>();
+    inst->machine = std::make_unique<Instance>(
+        sim_, net_, profile_.instance_type,
+        profile_.name + "-fn-" + std::to_string(instances_.size()),
+        profile_.zone);
+    instances_.push_back(std::move(inst));
+    return *instances_.back();
+}
+
+void
+FaasPlatform::acquire(AcquireCallback cb)
+{
+    ++invocations_;
+    FunctionInstance *warm = findWarm();
+    if (warm) {
+        ++warm_boots_;
+        warm->in_use = true;
+        busy_start_[warm] = sim_.now();
+        sim_.after(profile_.warm_boot,
+                   [this, warm, cb = std::move(cb)] {
+                       ++warm->invocations;
+                       cb(*warm);
+                   });
+        return;
+    }
+    ++cold_boots_;
+    FunctionInstance &fresh = launch();
+    fresh.in_use = true;
+    busy_start_[&fresh] = sim_.now();
+    double jitter = rng_.normal(
+        0.0, static_cast<double>(profile_.cold_boot_jitter.ns()));
+    sim::SimTime boot = profile_.cold_boot_mean +
+                        sim::SimTime::nsec(static_cast<int64_t>(
+                            std::max(jitter, -0.5 * static_cast<double>(
+                                profile_.cold_boot_mean.ns()))));
+    sim_.after(boot, [this, &fresh, cb = std::move(cb)] {
+        ++fresh.invocations;
+        cb(fresh);
+    });
+}
+
+FunctionInstance *
+FaasPlatform::tryAcquireWarm()
+{
+    FunctionInstance *warm = findWarm();
+    if (!warm)
+        return nullptr;
+    ++invocations_;
+    ++warm_boots_;
+    warm->in_use = true;
+    ++warm->invocations;
+    busy_start_[warm] = sim_.now();
+    return warm;
+}
+
+void
+FaasPlatform::prewarm(std::size_t n, std::function<void()> done)
+{
+    auto remaining = std::make_shared<std::size_t>(n);
+    if (n == 0) {
+        done();
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        acquire([this, remaining,
+                 done](FunctionInstance &inst) mutable {
+            release(inst);
+            if (--*remaining == 0)
+                done();
+        });
+    }
+}
+
+void
+FaasPlatform::release(FunctionInstance &inst)
+{
+    bh_assert(inst.in_use, "release of idle instance");
+    inst.in_use = false;
+    inst.ever_used = true;
+    inst.idle_since = sim_.now();
+    auto it = busy_start_.find(&inst);
+    if (it != busy_start_.end()) {
+        double seconds = (sim_.now() - it->second).toSeconds();
+        busy_gb_seconds_ +=
+            seconds * profile_.instance_type.memory_gb;
+        busy_start_.erase(it);
+    }
+}
+
+void
+FaasPlatform::destroy(FunctionInstance &inst)
+{
+    if (inst.in_use)
+        release(inst);
+    inst.machine.reset();
+    inst.runtime_state.reset();
+}
+
+std::size_t
+FaasPlatform::warmCount() const
+{
+    std::size_t n = 0;
+    for (const auto &inst : instances_) {
+        if (!inst->in_use && inst->machine)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+FaasPlatform::inUseCount() const
+{
+    std::size_t n = 0;
+    for (const auto &inst : instances_) {
+        if (inst->in_use)
+            ++n;
+    }
+    return n;
+}
+
+double
+FaasPlatform::accruedCost(sim::SimTime now) const
+{
+    double gb_seconds = busy_gb_seconds_;
+    // Include still-running invocations.
+    for (const auto &[inst, start] : busy_start_) {
+        gb_seconds += (now - start).toSeconds() *
+                      profile_.instance_type.memory_gb;
+    }
+    return gb_seconds * profile_.price_per_gb_second +
+           static_cast<double>(invocations_) / 1e6 *
+               profile_.price_per_minvoke;
+}
+
+} // namespace beehive::cloud

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * FaaS platform simulator: cold/warm boots, instance cache, billing.
+ *
+ * Models the two deployments of the paper (Section 5.1): OpenWhisk
+ * on m4.large EC2 workers inside the server's VPC, and AWS Lambda
+ * with 1-2 GB functions in a separate network zone with higher
+ * latency to EC2 (Section 5.2 measures ~2x the overhead on Lambda
+ * and attributes it to that latency).
+ *
+ * Each function instance handles one request at a time (Section
+ * 5.1). Finished instances return to a warm pool; re-acquiring a
+ * cached instance is a *warm boot* costing only milliseconds, while
+ * a fresh instance pays the cold-boot path: container/VM launch +
+ * JVM deployment + network setup, ~1 s in Section 5.6's breakdown.
+ */
+
+#ifndef BEEHIVE_CLOUD_FAAS_H
+#define BEEHIVE_CLOUD_FAAS_H
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace beehive::cloud {
+
+/** Deployment-specific knobs of a FaaS platform. */
+struct FaasProfile
+{
+    std::string name;
+    InstanceType instance_type;
+    std::string zone;
+    /** Container/VM launch + runtime deployment on a cold path. */
+    sim::SimTime cold_boot_mean = sim::SimTime::msec(950);
+    sim::SimTime cold_boot_jitter = sim::SimTime::msec(120);
+    /** Reusing a cached instance. */
+    sim::SimTime warm_boot = sim::SimTime::msec(45);
+    /** How long an idle instance stays cached. */
+    sim::SimTime keep_alive = sim::SimTime::sec(600);
+    /** $ per GB-second of function runtime. */
+    double price_per_gb_second = 0.0000166667;
+    /** $ per million invocations. */
+    double price_per_minvoke = 0.20;
+};
+
+/** The OpenWhisk deployment profile (in-VPC m4.large workers). */
+FaasProfile openWhiskProfile();
+
+/** The AWS Lambda profile (1 GB functions, higher RTT to EC2). */
+FaasProfile lambdaProfile(double memory_gb = 1.0);
+
+/** One function instance plus its cache metadata. */
+struct FunctionInstance
+{
+    std::unique_ptr<Instance> machine;
+    bool in_use = false;
+    bool ever_used = false;      //!< false until first invocation
+    sim::SimTime idle_since;
+    uint64_t invocations = 0;
+    /** Opaque per-instance state owned by the BeeHive runtime
+     * (the function-side VM); survives across warm invocations. */
+    std::shared_ptr<void> runtime_state;
+};
+
+/** A FaaS platform with an instance cache. */
+class FaasPlatform
+{
+  public:
+    using AcquireCallback = std::function<void(FunctionInstance &)>;
+
+    FaasPlatform(sim::Simulation &sim, net::Network &net,
+                 FaasProfile profile);
+
+    const FaasProfile &profile() const { return profile_; }
+
+    /**
+     * Acquire an instance for one invocation. Prefers a cached warm
+     * instance; otherwise launches a cold one. The callback fires
+     * after the boot delay with the instance marked in_use.
+     */
+    void acquire(AcquireCallback cb);
+
+    /**
+     * Synchronously grab a cached warm instance, bypassing the
+     * platform invocation path. BeeHive keeps its function
+     * instances connected to the server, so steady-state dispatch
+     * is a message on that connection rather than a platform
+     * invoke; the caller models the dispatch latency itself.
+     *
+     * @return The instance (marked in_use), or nullptr when the
+     *         warm pool is empty.
+     */
+    FunctionInstance *tryAcquireWarm();
+
+    /**
+     * Pre-warm @p n instances without running anything on them
+     * (provisioned-concurrency style; used by warm-boot
+     * experiments).
+     */
+    void prewarm(std::size_t n, std::function<void()> done);
+
+    /** Return an instance to the warm pool. */
+    void release(FunctionInstance &inst);
+
+    /** Destroy an instance (failure injection). */
+    void destroy(FunctionInstance &inst);
+
+    /** @name Introspection */
+    /// @{
+    std::size_t totalInstances() const { return instances_.size(); }
+    std::size_t warmCount() const;
+    std::size_t inUseCount() const;
+    uint64_t coldBoots() const { return cold_boots_; }
+    uint64_t warmBoots() const { return warm_boots_; }
+
+    /** All instances ever launched (breakdown inspection). */
+    const std::vector<std::unique_ptr<FunctionInstance>> &
+    instances() const
+    {
+        return instances_;
+    }
+    /// @}
+
+    /**
+     * Accrued FaaS cost at @p now: GB-seconds of busy time plus
+     * per-invocation fees.
+     */
+    double accruedCost(sim::SimTime now) const;
+
+  private:
+    FunctionInstance *findWarm();
+    FunctionInstance &launch();
+
+    sim::Simulation &sim_;
+    net::Network &net_;
+    FaasProfile profile_;
+    std::vector<std::unique_ptr<FunctionInstance>> instances_;
+    uint64_t cold_boots_ = 0;
+    uint64_t warm_boots_ = 0;
+    uint64_t invocations_ = 0;
+    double busy_gb_seconds_ = 0.0;
+    std::map<const FunctionInstance *, sim::SimTime> busy_start_;
+    Rng rng_;
+};
+
+} // namespace beehive::cloud
+
+#endif // BEEHIVE_CLOUD_FAAS_H

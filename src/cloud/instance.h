@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cloud instances: machine types and running instances.
+ *
+ * Instance types mirror the paper's experiment setup (Section 5.1):
+ * m4.xlarge servers, t3.xlarge burstables, m4.large OpenWhisk
+ * workers, 1-2 GB Lambda functions, and an m4.10xlarge database
+ * machine. Prices are AWS us-east-1 on-demand rates of the period.
+ */
+
+#ifndef BEEHIVE_CLOUD_INSTANCE_H
+#define BEEHIVE_CLOUD_INSTANCE_H
+
+#include <memory>
+#include <string>
+
+#include "net/network.h"
+#include "sim/cpu.h"
+#include "sim/simulation.h"
+
+namespace beehive::cloud {
+
+/** A machine shape offered by the cloud. */
+struct InstanceType
+{
+    std::string name;
+    double vcpus = 1.0;
+    double cpu_speed = 1.0;     //!< relative per-core speed
+    double memory_gb = 1.0;
+    double price_per_hour = 0.0;
+};
+
+/** @name The catalogue used throughout the evaluation */
+/// @{
+const InstanceType &m4XLarge();   //!< 4 vCPU / 16 GB server
+const InstanceType &t3XLarge();   //!< burstable 4 vCPU / 16 GB
+const InstanceType &m4Large();    //!< 2 vCPU / 8 GB OpenWhisk worker
+const InstanceType &m410XLarge(); //!< 40 vCPU / 160 GB database
+const InstanceType &fargate4();   //!< Fargate 4 vCPU / 16 GB task
+const InstanceType &lambda1G();   //!< Lambda 1 GB (0.6 vCPU)
+const InstanceType &lambda2G();   //!< Lambda 2 GB (1.2 vCPU)
+/// @}
+
+/** A running machine: a network endpoint plus a shared CPU. */
+class Instance
+{
+  public:
+    /**
+     * @param sim Owning simulation.
+     * @param net Fabric to register the endpoint on.
+     * @param type Machine shape.
+     * @param name Endpoint name for diagnostics.
+     * @param zone Network zone.
+     */
+    Instance(sim::Simulation &sim, net::Network &net,
+             const InstanceType &type, const std::string &name,
+             const std::string &zone);
+
+    const InstanceType &type() const { return type_; }
+    net::EndpointId endpoint() const { return endpoint_; }
+    sim::ProcessorSharingCpu &cpu() { return cpu_; }
+
+    /** Time the machine came into existence. */
+    sim::SimTime createdAt() const { return created_at_; }
+
+    /** Running time so far (billing input). */
+    sim::SimTime age(sim::SimTime now) const
+    {
+        return now - created_at_;
+    }
+
+  private:
+    InstanceType type_;
+    net::EndpointId endpoint_;
+    sim::ProcessorSharingCpu cpu_;
+    sim::SimTime created_at_;
+};
+
+} // namespace beehive::cloud
+
+#endif // BEEHIVE_CLOUD_INSTANCE_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Scaling solutions (paper Section 2.1, Table 1).
+ *
+ * Each solution can provision an instance able to run the web
+ * service; they differ in preparation time, billing model, and
+ * configuration granularity. The traits table regenerates Table 1.
+ */
+
+#ifndef BEEHIVE_CLOUD_SCALING_H
+#define BEEHIVE_CLOUD_SCALING_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace beehive::cloud {
+
+/** The scaling mechanisms compared in the paper. */
+enum class ScalingKind
+{
+    Reserved,
+    OnDemand,
+    Burstable,
+    Fargate,
+    Faas,
+};
+
+const char *scalingKindName(ScalingKind kind);
+
+/** A row of Table 1. */
+struct ScalingTraits
+{
+    ScalingKind kind;
+    std::string min_running_time;
+    std::string billing_granularity;
+    /** Hardware preparation time (instance existence). */
+    sim::SimTime preparation;
+    /** Extra time to boot the service (JVM + app + framework). */
+    sim::SimTime service_launch;
+    std::string config_granularity;
+    bool auto_scaling;
+};
+
+/** Traits row for each solution. */
+const ScalingTraits &scalingTraits(ScalingKind kind);
+
+/**
+ * Provisions full application instances (everything except FaaS,
+ * which lives in faas.h). Reserved/Burstable instances pre-exist:
+ * provisioning completes immediately but they bill from time zero.
+ */
+class InstanceScaler
+{
+  public:
+    using ReadyCallback = std::function<void(Instance &)>;
+
+    /**
+     * @param sim Owning simulation.
+     * @param net Fabric for instance endpoints.
+     * @param kind Which scaling mechanism this scaler models.
+     * @param type Machine shape to launch.
+     * @param zone Network zone of launched instances.
+     */
+    InstanceScaler(sim::Simulation &sim, net::Network &net,
+                   ScalingKind kind, const InstanceType &type,
+                   std::string zone);
+
+    /**
+     * Request one more instance. @p ready fires when the instance is
+     * able to serve requests (hardware prepared + service launched).
+     * Reserved/burstable kinds fire after a negligible switch-over
+     * delay, modelling the pre-provisioned idle instance.
+     */
+    void requestInstance(ReadyCallback ready);
+
+    /** Instances launched so far (ready or in flight). */
+    std::size_t launched() const { return instances_.size(); }
+
+    /** Access to launched instances. */
+    Instance &instance(std::size_t i) { return *instances_[i]; }
+
+    ScalingKind kind() const { return kind_; }
+    const InstanceType &type() const { return type_; }
+
+    /**
+     * Billable machine-hours cost at @p now, including idle time of
+     * pre-provisioned (reserved/burstable) instances since t=0.
+     */
+    double accruedCost(sim::SimTime now) const;
+
+  private:
+    sim::Simulation &sim_;
+    net::Network &net_;
+    ScalingKind kind_;
+    InstanceType type_;
+    std::string zone_;
+    std::vector<std::unique_ptr<Instance>> instances_;
+    Rng rng_;
+};
+
+} // namespace beehive::cloud
+
+#endif // BEEHIVE_CLOUD_SCALING_H

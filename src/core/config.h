@@ -1,0 +1,102 @@
+/**
+ * @file
+ * BeeHive runtime configuration knobs.
+ */
+
+#ifndef BEEHIVE_CORE_CONFIG_H
+#define BEEHIVE_CORE_CONFIG_H
+
+#include <cstdint>
+
+#include "sim/sim_time.h"
+#include "vm/context.h"
+
+namespace beehive::core {
+
+/** Tunables of the offloading framework. */
+struct BeeHiveConfig
+{
+    /**
+     * VM configuration template for the server. The instruction
+     * cost includes the dirty-object write barrier (the paper
+     * charges it at ~7% of pybbs peak throughput; disable for the
+     * vanilla baseline by resetting instr_cost_ns).
+     */
+    vm::VmConfig server_vm;
+
+    /**
+     * VM configuration template for function instances. One full
+     * execution (the shadow) is enough to warm a function's JIT
+     * state, matching the paper's "when the shadow execution
+     * finishes, the warmup phase is passed".
+     */
+    vm::VmConfig function_vm = [] {
+        vm::VmConfig c;
+        c.jit_threshold = 1;
+        return c;
+    }();
+
+    /** Server heap sizing. */
+    std::size_t server_closure_bytes = 4u << 20;
+    std::size_t server_alloc_bytes = 32u << 20;
+
+    /**
+     * Server request-thread pool size: requests beyond this queue
+     * (bounding both memory and, like any real servlet container,
+     * producing queueing latency under overload).
+     */
+    std::size_t server_max_active = 128;
+
+    /**
+     * Fraction of the profiled klass set included in the initial
+     * closure. Dynamic profiling is inherently incomplete (the
+     * paper's motivation for the fallback mechanism); values < 1
+     * model paths the profile run never saw.
+     */
+    double closure_klass_coverage = 0.85;
+
+    /** BFS depth limit when packing data from the argument graph. */
+    int closure_data_depth = 3;
+
+    /** Object count cap of the initial closure. */
+    std::size_t closure_max_objects = 4096;
+
+    /**
+     * Heap sizes of a function-side VM. Closures and per-request
+     * allocations are small (Section 5.6: a few MB of peak heap per
+     * function), so modest arenas keep hundreds of simulated
+     * function VMs affordable in one process.
+     */
+    std::size_t function_closure_bytes = 6u << 20;
+    std::size_t function_alloc_bytes = 6u << 20;
+
+    /** Per-klass network payload when fetching missing code. */
+    uint32_t klass_fetch_overhead_bytes = 256;
+
+    /** Server-side handling cost of one fallback request. */
+    sim::SimTime fallback_service = sim::SimTime::usec(40);
+
+    /** Closure computation rate (entities packed per second);
+     * calibrated so a pybbs-sized closure costs ~134 ms (Section
+     * 5.6), fully overlapped with the cold boot. */
+    double closure_pack_rate = 3500.0;
+
+    /**
+     * Enable stack-snapshot capture at sync points so failed FaaS
+     * invocations can resume (Section 4.5). Optional in the paper.
+     */
+    bool failure_recovery = false;
+
+    /** Enable shadow execution of the first offloaded invocation. */
+    bool shadow_execution = true;
+
+    /** Enable the Packageable native-state mechanism (ablation). */
+    bool packageable_enabled = true;
+
+    /** Enable proxy-based connection offload (ablation). */
+    bool proxy_enabled = true;
+};
+
+} // namespace beehive::core
+
+#endif // BEEHIVE_CORE_CONFIG_H

@@ -1,0 +1,590 @@
+#include "core/function.h"
+
+#include <deque>
+
+#include "support/logging.h"
+
+namespace beehive::core {
+
+using vm::Ref;
+using vm::Value;
+
+// ---------------------------------------------------------------------
+// Invocation: the per-request state machine on a function instance.
+// ---------------------------------------------------------------------
+
+class BeeHiveFunction::Invocation
+    : public std::enable_shared_from_this<BeeHiveFunction::Invocation>
+{
+  public:
+    Invocation(BeeHiveFunction &fn, vm::MethodId root, bool shadow,
+               DoneCb done)
+        : fn_(fn), sim_(fn.server_.sim()), root_(root),
+          shadow_(shadow), done_(std::move(done)),
+          interp_(*fn.ctx_)
+    {
+        trace_.shadow = shadow;
+    }
+
+    ~Invocation()
+    {
+        // Dying (failure injection) or finishing must not leave
+        // monitors held or wait-queue entries behind.
+        fn_.server_.sync().abandonHolder(this);
+    }
+
+    vm::Interpreter &interp() { return interp_; }
+
+    void
+    start(std::vector<Value> local_args)
+    {
+        started_at_ = sim_.now();
+        if (shadow_) {
+            shadow_token_ =
+                fn_.server_.proxy().shadowBegin(fn_.node());
+        }
+        interp_.start(root_, std::move(local_args));
+        pump();
+    }
+
+    void
+    startFromSnapshot(std::vector<vm::Frame> frames)
+    {
+        started_at_ = sim_.now();
+        if (shadow_) {
+            shadow_token_ =
+                fn_.server_.proxy().shadowBegin(fn_.node());
+        }
+        interp_.restoreFrames(std::move(frames));
+        pump();
+    }
+
+
+  private:
+    /** Fallback round trip between this function and the server. */
+    sim::SimTime
+    serverRtt(uint64_t req_bytes, uint64_t resp_bytes)
+    {
+        return fn_.server_.network().roundTrip(
+                   fn_.node(), fn_.server_.endpoint(), req_bytes,
+                   resp_bytes) +
+               fn_.server_.config().fallback_service;
+    }
+
+    void
+    pump()
+    {
+        vm::Suspend s = interp_.run();
+        double cost = interp_.consumeCost();
+        if (cost > 0.0) {
+            // Weak capture: if the function is killed or destroyed
+            // while the job runs, the continuation is a no-op.
+            fn_.instance_.machine->cpu().submit(
+                cost, [w = weak_from_this(), s] {
+                    if (auto self = w.lock())
+                        self->dispatch(s);
+                });
+        } else {
+            dispatch(s);
+        }
+    }
+
+    void
+    after(sim::SimTime delay, std::function<void()> next)
+    {
+        sim_.after(delay,
+                   [w = weak_from_this(), next = std::move(next)] {
+                       if (auto self = w.lock())
+                           next();
+                   });
+    }
+
+    void
+    dispatch(const vm::Suspend &s)
+    {
+        switch (s.kind) {
+          case vm::Suspend::Kind::Done:
+            finish(s.result);
+            return;
+
+          case vm::Suspend::Kind::Quantum:
+            pump();
+            return;
+
+          case vm::Suspend::Kind::ClassFault:
+            handleClassFault(s.klass);
+            return;
+
+          case vm::Suspend::Kind::ObjectFault:
+            handleObjectFault(s.remote_ref);
+            return;
+
+          case vm::Suspend::Kind::NativeFallback:
+            handleNativeFallback();
+            return;
+
+          case vm::Suspend::Kind::MonitorAcquire:
+            handleMonitorAcquire(s.monitor_obj);
+            return;
+
+          case vm::Suspend::Kind::MonitorRelease:
+            handleMonitorRelease(s.monitor_obj);
+            return;
+
+          case vm::Suspend::Kind::VolatileSync:
+            handleVolatileSync(s.monitor_obj);
+            return;
+
+          case vm::Suspend::Kind::External:
+            handleDbCall(std::any_cast<DbCallPayload>(s.external));
+            return;
+
+          case vm::Suspend::Kind::HeapFull: {
+            gc::GcCycleStats gc = fn_.collector_->collect();
+            trace_.gc_time += gc.pause;
+            after(gc.pause, [this] { pump(); });
+            return;
+          }
+
+          case vm::Suspend::Kind::OffloadCall:
+            panic("offload policy installed on a function VM");
+        }
+    }
+
+    void
+    handleClassFault(vm::KlassId klass)
+    {
+        const vm::Program &program = fn_.server_.program();
+        uint64_t bytes =
+            program.klass(klass).code_bytes +
+            fn_.server_.config().klass_fetch_overhead_bytes;
+        sim::SimTime latency = serverRtt(64, bytes);
+        trace_.countFallback(FallbackKind::MissingCode);
+        trace_.fallback_time += latency;
+        trace_.fetch_time += latency;
+        fn_.server_.countFallbackServed();
+        after(latency, [this, klass] {
+            fn_.ctx_->loadKlass(klass);
+            pump();
+        });
+    }
+
+    void
+    handleObjectFault(Ref remote_ref)
+    {
+        auto &cfg = fn_.server_.config();
+        auto [local, bytes] = fetchObject(
+            remote_ref, fn_.server_.context(), *fn_.ctx_,
+            fn_.server_.mappingFor(fn_.endpoint_id_),
+            fn_.server_.packageables(), cfg.packageable_enabled);
+        sim::SimTime latency = serverRtt(64, bytes + 64);
+        trace_.countFallback(FallbackKind::MissingData);
+        trace_.fallback_time += latency;
+        trace_.fetch_time += latency;
+        fn_.server_.countFallbackServed();
+
+        // The fetched object's klass may itself be missing: that is
+        // a second (code) fetch.
+        vm::KlassId k = fn_.heap_->header(local).klass;
+        if (!fn_.ctx_->isLoaded(k)) {
+            const vm::Program &program = fn_.server_.program();
+            sim::SimTime extra =
+                serverRtt(64, program.klass(k).code_bytes);
+            trace_.countFallback(FallbackKind::MissingCode);
+            trace_.fallback_time += extra;
+            trace_.fetch_time += extra;
+            latency += extra;
+            fn_.ctx_->loadKlass(k);
+        }
+        after(latency, [this] { pump(); });
+    }
+
+    void
+    handleNativeFallback()
+    {
+        // COMET-style: run the native's effect at the server. The
+        // modelled cost is the round trip; the handler then runs
+        // locally (its state effects are identical in HiveVM).
+        sim::SimTime latency = serverRtt(128, 128);
+        trace_.countFallback(FallbackKind::Native);
+        trace_.fallback_time += latency;
+        fn_.server_.countFallbackServed();
+        after(latency, [this] {
+            fn_.ctx_->forceNextNativeLocal();
+            pump();
+        });
+    }
+
+    void
+    handleMonitorAcquire(Ref obj)
+    {
+        fn_.server_.sync().acquireMonitor(
+            fn_.endpoint_id_, this, obj,
+            [w = weak_from_this(),
+             obj](const SyncManager::SyncResult &r) {
+                auto self = w.lock();
+                if (!self)
+                    return;
+                self->monitorGranted(obj, r);
+            });
+    }
+
+    void
+    monitorGranted(Ref obj, const SyncManager::SyncResult &r)
+    {
+        // Acquire message to the server; response carries the lock
+        // plus the translated dirty objects (Figure 6).
+        sim::SimTime latency =
+            serverRtt(64, r.bytes_transferred + 64);
+        if (r.remote && r.prev_owner != 0) {
+            // The server first forwards the acquire to the previous
+            // owner and waits for its state.
+            latency += fn_.server_.network().roundTrip(
+                fn_.server_.endpoint(),
+                fn_.server_.functionNode(r.prev_owner), 64,
+                r.bytes_transferred + 64);
+        }
+        trace_.countFallback(FallbackKind::Sync);
+        trace_.sync_time += latency;
+        trace_.fallback_time += latency;
+        trace_.synchronized_objects += r.objects_transferred;
+        fn_.server_.countFallbackServed();
+
+        if (fn_.server_.config().failure_recovery)
+            captureSnapshot();
+
+        interp_.grantMonitor(obj);
+        after(latency, [this] { pump(); });
+    }
+
+    void
+    handleVolatileSync(Ref obj)
+    {
+        // Volatile acquire: pull the last releaser's state through
+        // the server (a synchronization fallback without the
+        // monitor queue).
+        SyncManager::SyncResult r =
+            fn_.server_.sync().acquire(fn_.endpoint_id_, obj);
+        sim::SimTime latency =
+            serverRtt(64, r.bytes_transferred + 64);
+        if (r.remote && r.prev_owner != 0) {
+            latency += fn_.server_.network().roundTrip(
+                fn_.server_.endpoint(),
+                fn_.server_.functionNode(r.prev_owner), 64,
+                r.bytes_transferred + 64);
+        }
+        trace_.countFallback(FallbackKind::Sync);
+        trace_.sync_time += latency;
+        trace_.fallback_time += latency;
+        trace_.synchronized_objects += r.objects_transferred;
+        fn_.server_.countFallbackServed();
+        interp_.grantVolatile(obj);
+        after(latency, [this] { pump(); });
+    }
+
+    void
+    handleMonitorRelease(Ref obj)
+    {
+        fn_.server_.sync().releaseMonitor(fn_.endpoint_id_, this,
+                                          obj);
+        interp_.grantRelease();
+        pump();
+    }
+
+    void
+    handleDbCall(DbCallPayload payload)
+    {
+        auto &server = fn_.server_;
+        bool packed =
+            payload.conn_ref != vm::kNullRef &&
+            !vm::isRemote(payload.conn_ref) &&
+            (fn_.heap_->header(payload.conn_ref).flags &
+             vm::kFlagPacked);
+
+        db::Response resp;
+        sim::SimTime latency;
+        if (server.config().proxy_enabled && packed) {
+            // Proxy path: the packed connection ID reaches the
+            // database through the shared connection; no fallback.
+            uint64_t token = payload.conn_token;
+            if (!fn_.attached_tokens_.count(token)) {
+                bool ok = server.proxy().attach(token, fn_.node());
+                bh_assert(ok, "stale offload connection id");
+                fn_.attached_tokens_.insert(token);
+            }
+            std::optional<proxy::ShadowToken> shadow;
+            if (shadow_)
+                shadow = shadow_token_;
+            resp = server.proxy().requestViaOffload(
+                token, payload.request, shadow);
+            latency = server.network().roundTrip(
+                          fn_.node(), server.dbEndpoint(),
+                          payload.request.wireSize(),
+                          resp.wireSize()) +
+                      server.proxy().processingTime() +
+                      server.proxy().dbServiceTime(payload.request);
+            ++trace_.db_ops;
+        } else {
+            // No proxy support: every round is a fallback through
+            // the server (the behaviour BeeHive's Section 3.3
+            // eliminates; kept for ablations). The server issues
+            // the operation on ITS connection: resolve the original
+            // socket object to recover the server-side ConnId (the
+            // local copy may hold a packed offload token).
+            uint64_t conn_token = payload.conn_token;
+            Ref server_sock =
+                server.mappingFor(fn_.endpoint_id_)
+                    .toServer(payload.conn_ref);
+            if (server_sock != vm::kNullRef) {
+                conn_token = static_cast<uint64_t>(
+                    server.heap()
+                        .field(server_sock, kSocketFieldToken)
+                        .asInt());
+            }
+            resp = server.proxy().request(
+                static_cast<proxy::ConnId>(conn_token),
+                payload.request);
+            latency = serverRtt(payload.request.wireSize(),
+                                resp.wireSize()) +
+                      server.dbRoundTrip(payload.request, resp);
+            trace_.countFallback(FallbackKind::Connection);
+            trace_.fallback_time += latency;
+            server.countFallbackServed();
+        }
+
+        after(latency, [this, payload, resp] {
+            auto v = tryMaterializeDbResponse(*fn_.ctx_,
+                                              payload.request, resp);
+            if (!v) {
+                gc::GcCycleStats gc = fn_.collector_->collect();
+                trace_.gc_time += gc.pause;
+                v = tryMaterializeDbResponse(*fn_.ctx_,
+                                             payload.request, resp);
+            }
+            bh_assert(v.has_value(), "function heap exhausted");
+            interp_.resumeExternal(*v);
+            pump();
+        });
+    }
+
+    /**
+     * Promote a function-local object graph to the server so a
+     * snapshot may reference it (recovery keeps working even though
+     * this instance dies). Mapped objects translate directly.
+     */
+    Value
+    snapshotValue(Value v)
+    {
+        if (!v.isRef() || v.asRef() == vm::kNullRef)
+            return v;
+        Ref r = v.asRef();
+        if (vm::isRemote(r))
+            return v; // already a server address
+        MappingTable &map =
+            fn_.server_.mappingFor(fn_.endpoint_id_);
+        Ref server_ref = map.toServer(r);
+        if (server_ref == vm::kNullRef) {
+            vm::Heap &server_heap = fn_.server_.heap();
+            Ref clone = server_heap.cloneFrom(
+                *fn_.heap_, r, server_heap.allocSpaceId());
+            bh_assert(clone != vm::kNullRef,
+                      "server heap exhausted during snapshot");
+            map.add(clone, r);
+            const vm::ObjHeader &hdr = server_heap.header(clone);
+            if (hdr.kind != vm::ObjKind::Bytes) {
+                for (uint32_t i = 0; i < hdr.count; ++i) {
+                    server_heap.setFieldRaw(
+                        clone, i,
+                        snapshotServerField(
+                            server_heap.field(clone, i)));
+                }
+            }
+            server_ref = clone;
+        }
+        return Value::ofRef(vm::markRemote(server_ref));
+    }
+
+    /** Field translation inside promoted snapshot objects. */
+    Value
+    snapshotServerField(Value v)
+    {
+        if (!v.isRef() || v.asRef() == vm::kNullRef)
+            return v;
+        Ref r = v.asRef();
+        if (vm::isRemote(r))
+            return Value::ofRef(vm::stripRemote(r));
+        // Function-local ref inside a promoted clone.
+        Value promoted = snapshotValue(Value::ofRef(r));
+        return Value::ofRef(vm::stripRemote(promoted.asRef()));
+    }
+
+    void
+    captureSnapshot()
+    {
+        std::vector<vm::Frame> frames = interp_.snapshotFrames();
+        for (vm::Frame &f : frames) {
+            for (Value &v : f.locals)
+                v = snapshotValue(v);
+            for (Value &v : f.stack)
+                v = snapshotValue(v);
+        }
+        fn_.snapshot_ = std::move(frames);
+        fn_.snapshot_root_ = root_;
+    }
+
+    void
+    finish(Value result)
+    {
+        if (shadow_)
+            fn_.server_.proxy().shadowEnd(shadow_token_);
+        Value server_result = copyResultToServer(
+            result, *fn_.ctx_, fn_.server_.context(),
+            fn_.server_.mappingFor(fn_.endpoint_id_));
+        sim::SimTime ret_latency = fn_.server_.network().roundTrip(
+            fn_.node(), fn_.server_.endpoint(), 256, 64);
+        trace_.duration = sim_.now() + ret_latency - started_at_;
+        after(ret_latency, [this, server_result] {
+            fn_.warmed_roots_.insert(root_);
+            fn_.total_trace_.merge(trace_);
+            ++fn_.invocation_count_;
+            DoneCb done = std::move(done_);
+            RequestTrace trace = trace_;
+            // Drop the owning reference last: `this` stays alive
+            // through the callback via the local shared_ptr.
+            auto self = fn_.invocation_;
+            fn_.invocation_ = nullptr;
+            done(server_result, trace);
+        });
+    }
+
+    BeeHiveFunction &fn_;
+    sim::Simulation &sim_;
+    vm::MethodId root_;
+    bool shadow_;
+    DoneCb done_;
+    vm::Interpreter interp_;
+    RequestTrace trace_;
+    proxy::ShadowToken shadow_token_ = 0;
+    sim::SimTime started_at_;
+};
+
+// ---------------------------------------------------------------------
+// BeeHiveFunction
+// ---------------------------------------------------------------------
+
+BeeHiveFunction::BeeHiveFunction(BeeHiveServer &server,
+                                 cloud::FaasPlatform &platform,
+                                 cloud::FunctionInstance &instance)
+    : server_(server), platform_(platform), instance_(instance)
+{
+    const BeeHiveConfig &cfg = server.config();
+    heap_ = std::make_unique<vm::Heap>(server.program(),
+                                       cfg.function_closure_bytes,
+                                       cfg.function_alloc_bytes);
+
+    vm::VmConfig vm_cfg = cfg.function_vm;
+    vm_cfg.check_remote_refs = true;
+    ctx_ = std::make_unique<vm::VmContext>(
+        server.program(), server.natives(), *heap_, vm_cfg);
+    endpoint_id_ = server.registerFunction(ctx_.get(), node());
+    ctx_->config().endpoint = endpoint_id_;
+
+    // Dirty tracking: closure-space stores are shareable state.
+    heap_->setWriteObserver([this](Ref obj) {
+        if (vm::refSpace(obj) == vm::Heap::kClosureSpaceId)
+            server_.sync().markDirty(endpoint_id_, obj);
+    });
+
+    ctx_->setMonitorPolicy([this](Ref obj) {
+        return server_.sync().monitorIsShared(endpoint_id_, obj);
+    });
+
+    // Native dispositions on FaaS (Section 3.2): pure on-heap and
+    // stateless natives run locally; network natives run locally
+    // and route through the proxy at the driver level; hidden-state
+    // natives need a packed Packageable receiver.
+    ctx_->setNativePolicy(
+        [this](const vm::NativeMethod &native,
+               const std::vector<Value> &args) {
+            switch (native.category) {
+              case vm::NativeCategory::PureOnHeap:
+              case vm::NativeCategory::Stateless:
+              case vm::NativeCategory::Network:
+                return vm::NativeDisposition::RunLocal;
+              case vm::NativeCategory::HiddenState: {
+                if (!args.empty() && args[0].isRef() &&
+                    args[0].asRef() != vm::kNullRef &&
+                    !vm::isRemote(args[0].asRef()) &&
+                    (heap_->header(args[0].asRef()).flags &
+                     vm::kFlagPacked)) {
+                    return vm::NativeDisposition::RunLocal;
+                }
+                return vm::NativeDisposition::Fallback;
+              }
+            }
+            return vm::NativeDisposition::RunLocal;
+        });
+
+    collector_ = std::make_unique<gc::SemiSpaceCollector>(*heap_);
+    collector_->addValueRoots([this](const auto &visit) {
+        if (invocation_)
+            invocation_->interp().forEachRoot(visit);
+        ctx_->forEachStatic(visit);
+    });
+}
+
+BeeHiveFunction::~BeeHiveFunction()
+{
+    invocation_.reset();
+    server_.dropFunction(endpoint_id_);
+}
+
+net::EndpointId
+BeeHiveFunction::node() const
+{
+    return instance_.machine->endpoint();
+}
+
+InstallResult
+BeeHiveFunction::install(const Closure &closure)
+{
+    return installClosure(closure, server_.context(), *ctx_,
+                          server_.mappingFor(endpoint_id_),
+                          server_.packageables(),
+                          server_.config().packageable_enabled);
+}
+
+void
+BeeHiveFunction::invoke(vm::MethodId root,
+                        std::vector<Value> server_args, bool shadow,
+                        DoneCb done)
+{
+    bh_assert(!invocation_, "function instance is single-request");
+    bh_assert(!dead_, "invoke on dead function");
+    std::vector<Value> local_args = copyArgsToFunction(
+        server_args, server_.context(), *ctx_,
+        server_.config().closure_data_depth);
+    invocation_ = std::make_shared<Invocation>(*this, root, shadow,
+                                               std::move(done));
+    invocation_->start(std::move(local_args));
+}
+
+void
+BeeHiveFunction::resume(vm::MethodId root,
+                        std::vector<vm::Frame> snapshot, bool shadow,
+                        DoneCb done)
+{
+    bh_assert(!invocation_, "function instance is single-request");
+    invocation_ = std::make_shared<Invocation>(*this, root, shadow,
+                                               std::move(done));
+    invocation_->startFromSnapshot(std::move(snapshot));
+}
+
+void
+BeeHiveFunction::kill()
+{
+    dead_ = true;
+    invocation_.reset();
+}
+
+} // namespace beehive::core

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The FaaS-side BeeHive runtime (one per function instance).
+ *
+ * A BeeHiveFunction wraps one FaaS instance with a full VM: its own
+ * heap (closure space + allocation semispaces), its own loaded-klass
+ * set, the per-function GC, and the invocation driver that services
+ * every fallback the interpreter raises:
+ *
+ *   - missing code / missing data: round trip to the server, fetch
+ *     the class file or object, install it, retry (Section 3.1);
+ *   - un-offloadable natives: round trip to the server (eliminated
+ *     by Packageable for the evaluated apps, Section 3.2);
+ *   - database operations: via the connection proxy with the packed
+ *     connection ID -- no fallback (Section 3.3) -- unless the
+ *     proxy/packing is disabled (ablations), in which case each
+ *     round routes through the server as a connection fallback;
+ *   - monitor synchronization: the server-coordinated JMM protocol
+ *     (Section 4.2);
+ *   - heap exhaustion: the two-space GC (Section 4.4);
+ *   - shadow execution: first invocation runs against a shadow
+ *     proxy session and discards its result (Section 3.4).
+ */
+
+#ifndef BEEHIVE_CORE_FUNCTION_H
+#define BEEHIVE_CORE_FUNCTION_H
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "cloud/faas.h"
+#include "core/closure.h"
+#include "core/server.h"
+#include "core/trace.h"
+#include "gc/collector.h"
+#include "vm/interpreter.h"
+
+namespace beehive::core {
+
+/** One function instance's runtime. */
+class BeeHiveFunction
+{
+  public:
+    using DoneCb = std::function<void(vm::Value, const RequestTrace &)>;
+
+    /**
+     * @param server The coordinating server runtime.
+     * @param platform Owning FaaS platform (profile, latencies).
+     * @param instance The machine this function runs on.
+     */
+    BeeHiveFunction(BeeHiveServer &server,
+                    cloud::FaasPlatform &platform,
+                    cloud::FunctionInstance &instance);
+
+    ~BeeHiveFunction();
+
+    /** @name State */
+    /// @{
+    uint16_t endpointId() const { return endpoint_id_; }
+    net::EndpointId node() const;
+    vm::VmContext &context() { return *ctx_; }
+    vm::Heap &heap() { return *heap_; }
+    gc::SemiSpaceCollector &collector() { return *collector_; }
+    bool busy() const { return invocation_ != nullptr; }
+    /** True once a (shadow) execution of @p root warmed this VM. */
+    bool warmedFor(vm::MethodId root) const
+    {
+        return warmed_roots_.count(root) > 0;
+    }
+    /// @}
+
+    /**
+     * Install @p closure (first offload to this instance).
+     *
+     * @return transfer statistics; the caller charges the network.
+     */
+    InstallResult install(const Closure &closure);
+
+    /**
+     * Execute one offloaded invocation.
+     *
+     * @param root Root method.
+     * @param server_args Arguments as server-heap values; they are
+     *        copied into this function's heap.
+     * @param shadow Run as a side-effect-free shadow execution.
+     * @param done Completion callback (server-heap result + trace).
+     */
+    void invoke(vm::MethodId root, std::vector<vm::Value> server_args,
+                bool shadow, DoneCb done);
+
+    /**
+     * Failure injection: the instance dies mid-invocation. The
+     * pending invocation's callback never fires; the off-load
+     * manager recovers via the stored snapshot (Section 4.5).
+     */
+    void kill();
+
+    /** Latest stack snapshot (server-translated), for recovery. */
+    const std::vector<vm::Frame> &lastSnapshot() const
+    {
+        return snapshot_;
+    }
+    bool hasSnapshot() const { return !snapshot_.empty(); }
+
+    /**
+     * Resume a failed invocation from @p snapshot (frames holding
+     * remote-marked server addresses; data faults refill state).
+     */
+    void resume(vm::MethodId root, std::vector<vm::Frame> snapshot,
+                bool shadow, DoneCb done);
+
+    /** Aggregated trace across all invocations on this function. */
+    const RequestTrace &totalTrace() const { return total_trace_; }
+    uint64_t invocations() const { return invocation_count_; }
+
+  private:
+    class Invocation;
+    friend class Invocation;
+
+    BeeHiveServer &server_;
+    cloud::FaasPlatform &platform_;
+    cloud::FunctionInstance &instance_;
+    uint16_t endpoint_id_ = 0;
+
+    std::unique_ptr<vm::Heap> heap_;
+    std::unique_ptr<vm::VmContext> ctx_;
+    std::unique_ptr<gc::SemiSpaceCollector> collector_;
+
+    std::set<vm::MethodId> warmed_roots_;
+    std::set<uint64_t> attached_tokens_;
+    std::shared_ptr<Invocation> invocation_;
+    std::vector<vm::Frame> snapshot_;
+    vm::MethodId snapshot_root_ = vm::kNoMethod;
+    RequestTrace total_trace_;
+    uint64_t invocation_count_ = 0;
+    bool dead_ = false;
+};
+
+} // namespace beehive::core
+
+#endif // BEEHIVE_CORE_FUNCTION_H

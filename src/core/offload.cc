@@ -1,0 +1,319 @@
+#include "core/offload.h"
+
+#include "support/logging.h"
+
+namespace beehive::core {
+
+using vm::Value;
+
+OffloadManager::OffloadManager(BeeHiveServer &server,
+                               cloud::FaasPlatform &platform)
+    : server_(server), platform_(platform),
+      rng_(server.sim().rng().fork())
+{
+    // Sample args and in-flight args hold server-heap references
+    // that must survive server GCs while offloads are pending.
+    server_.collector().addValueRoots([this](const auto &visit) {
+        for (auto &[root, state] : roots_) {
+            for (Value &v : state.sample_args)
+                visit(v);
+        }
+        for (auto &[id, flight] : flights_) {
+            for (Value &v : flight.args)
+                visit(v);
+        }
+    });
+
+    // Hook the Semi-FaaS split into the server interpreter: the
+    // policy draws the offload decision per handler call, and the
+    // dispatch hook routes the suspended call here.
+    server_.context().setOffloadPolicy([this](vm::MethodId id) {
+        return ratio_ > 0.0 && isEnabled(id) && rng_.chance(ratio_);
+    });
+    server_.setOffloadDispatch(
+        [this](vm::MethodId root, std::vector<Value> args,
+               DoneCb done) {
+            dispatchOffloadCall(root, std::move(args),
+                                std::move(done));
+        });
+}
+
+void
+OffloadManager::dispatchOffloadCall(vm::MethodId root,
+                                    std::vector<Value> args,
+                                    DoneCb done)
+{
+    if (active_offloads_ >= max_offloads_) {
+        // Out of FaaS capacity: serve the handler locally (nested
+        // execution, offloading suppressed).
+        ++stats_.local;
+        server_.handleLocal(root, std::move(args), std::move(done),
+                            /*suppress_offload=*/true);
+        return;
+    }
+    offload(root, std::move(args), std::move(done));
+}
+
+void
+OffloadManager::setOffloadRatio(double ratio)
+{
+    bh_assert(ratio >= 0.0 && ratio <= 1.0, "ratio out of range");
+    ratio_ = ratio;
+}
+
+void
+OffloadManager::enableRoot(vm::MethodId root,
+                           std::vector<Value> sample_args)
+{
+    RootState &state = roots_[root];
+    state.enabled = true;
+    state.sample_args = std::move(sample_args);
+}
+
+bool
+OffloadManager::isEnabled(vm::MethodId root) const
+{
+    auto it = roots_.find(root);
+    return it != roots_.end() && it->second.enabled;
+}
+
+const Closure &
+OffloadManager::closureFor(vm::MethodId root)
+{
+    RootState &state = roots_[root];
+    bh_assert(state.enabled, "closureFor on disabled root");
+    if (!state.closure_built) {
+        ClosureBuilder builder(server_.context(), server_.config(),
+                               rng_.fork());
+        state.closure = builder.build(
+            root, server_.profiler().profile(root), state.sample_args);
+        state.closure_built = true;
+    }
+    return state.closure;
+}
+
+void
+OffloadManager::handleRequest(vm::MethodId root,
+                              std::vector<Value> args, DoneCb done)
+{
+    bool offloadable = isEnabled(root) && ratio_ > 0.0 &&
+                       active_offloads_ < max_offloads_ &&
+                       rng_.chance(ratio_);
+    if (!offloadable) {
+        ++stats_.local;
+        server_.handleLocal(root, std::move(args), std::move(done));
+        return;
+    }
+    offload(root, std::move(args), std::move(done));
+}
+
+BeeHiveFunction &
+OffloadManager::functionOf(cloud::FunctionInstance &inst)
+{
+    if (!inst.runtime_state) {
+        inst.runtime_state = std::make_shared<BeeHiveFunction>(
+            server_, platform_, inst);
+    }
+    return *std::static_pointer_cast<BeeHiveFunction>(
+        inst.runtime_state);
+}
+
+void
+OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
+                        DoneCb done)
+{
+    uint64_t id = next_flight_++;
+    InFlight &flight = flights_[id];
+    flight.root = root;
+    flight.args = std::move(args);
+    flight.done = std::move(done);
+    ++active_offloads_;
+
+    // Warm instances stay connected to the server: dispatching to
+    // one is a message over that connection, not a platform invoke.
+    if (cloud::FunctionInstance *warm = platform_.tryAcquireWarm()) {
+        flight.instance = warm;
+        BeeHiveFunction &fn = functionOf(*warm);
+        sim::SimTime dispatch = server_.network().oneWay(
+            server_.endpoint(), fn.node(), 512);
+        server_.sim().after(dispatch, [this, id, warm] {
+            if (flights_.count(id))
+                dispatchOn(*warm, id);
+        });
+        return;
+    }
+
+    // Cold path. With shadow execution the user's request is served
+    // locally RIGHT NOW ("the real request is executed on the
+    // server side and directly returned to users once complete");
+    // the cold boot, closure install, and warmup storm all happen
+    // on the shadow duplicate, off the user's critical path.
+    if (server_.config().shadow_execution) {
+        ++stats_.local;
+        server_.handleLocal(root, flight.args, std::move(flight.done),
+                            /*suppress_offload=*/true);
+        flight.done = [](Value) {};
+        flight.shadow = true;
+        ++stats_.shadows;
+    }
+
+    platform_.acquire([this, id](cloud::FunctionInstance &inst) {
+        auto it = flights_.find(id);
+        if (it == flights_.end()) {
+            platform_.release(inst);
+            return;
+        }
+        it->second.instance = &inst;
+        dispatchOn(inst, id);
+    });
+}
+
+void
+OffloadManager::dispatchOn(cloud::FunctionInstance &inst,
+                           uint64_t flight_id)
+{
+    InFlight &flight = flights_[flight_id];
+    vm::MethodId root = flight.root;
+    BeeHiveFunction &fn = functionOf(inst);
+
+    if (fn.warmedFor(root) && !flight.shadow) {
+        // Warmed instance: a real offloaded execution.
+        ++stats_.offloaded;
+        fn.invoke(root, flight.args, /*shadow=*/false,
+                  [this, flight_id](Value result,
+                                    const RequestTrace &trace) {
+                      finishFlight(flight_id, result, trace);
+                  });
+        return;
+    }
+
+    // Unwarmed (or shadow-designated) instance: a platform-cached
+    // instance may have served a different root and still need this
+    // root's closure.
+    sim::SimTime transfer;
+    if (!fn.warmedFor(root)) {
+        const Closure &closure = closureFor(root);
+        InstallResult install = fn.install(closure);
+        transfer = server_.network().oneWay(
+            server_.endpoint(), fn.node(), install.bytes);
+        // Closure computation (~133 ms) overlaps the cold boot that
+        // already elapsed during acquire(); only the transfer
+        // remains on this path.
+    }
+
+    if (!flight.shadow && server_.config().shadow_execution) {
+        // A cached-but-unwarmed instance received a real request:
+        // serve the user locally and warm the instance with a
+        // shadow, exactly like the cold path.
+        ++stats_.local;
+        server_.handleLocal(root, flight.args, std::move(flight.done),
+                            /*suppress_offload=*/true);
+        flight.done = [](Value) {};
+        flight.shadow = true;
+        ++stats_.shadows;
+    }
+    bool shadow = flight.shadow;
+    if (!shadow)
+        ++stats_.offloaded; // naive first offload (ablation path)
+
+    server_.sim().after(transfer, [this, flight_id, &inst, root,
+                                   shadow] {
+        auto it = flights_.find(flight_id);
+        if (it == flights_.end())
+            return;
+        BeeHiveFunction &fn = functionOf(inst);
+        fn.invoke(root, it->second.args, shadow,
+                  [this, flight_id](Value result,
+                                    const RequestTrace &trace) {
+                      finishFlight(flight_id, result, trace);
+                  });
+    });
+}
+
+void
+OffloadManager::finishFlight(uint64_t flight_id, Value result,
+                             const RequestTrace &trace)
+{
+    auto it = flights_.find(flight_id);
+    bh_assert(it != flights_.end(), "unknown flight");
+    InFlight flight = std::move(it->second);
+    flights_.erase(it);
+    --active_offloads_;
+    traces_.emplace_back(flight.root, trace);
+    if (flight.instance)
+        platform_.release(*flight.instance);
+    flight.done(result);
+}
+
+bool
+OffloadManager::injectFailure()
+{
+    for (auto &[id, flight] : flights_) {
+        if (!flight.instance || !flight.instance->runtime_state)
+            continue;
+        BeeHiveFunction &fn = functionOf(*flight.instance);
+        if (!fn.busy())
+            continue;
+        // Capture recovery state before tearing the instance down.
+        bool had_snapshot = server_.config().failure_recovery &&
+                            fn.hasSnapshot();
+        std::vector<vm::Frame> snapshot = fn.lastSnapshot();
+        fn.kill();
+        platform_.destroy(*flight.instance);
+        flight.instance = nullptr;
+        recover(id, std::move(snapshot), had_snapshot);
+        return true;
+    }
+    return false;
+}
+
+void
+OffloadManager::recover(uint64_t flight_id,
+                        std::vector<vm::Frame> snapshot,
+                        bool had_snapshot)
+{
+    ++stats_.recoveries;
+    platform_.acquire([this, flight_id, had_snapshot,
+                       snapshot = std::move(snapshot)](
+                          cloud::FunctionInstance &inst) mutable {
+        auto it = flights_.find(flight_id);
+        if (it == flights_.end()) {
+            platform_.release(inst);
+            return;
+        }
+        InFlight &flight = it->second;
+        flight.instance = &inst;
+        BeeHiveFunction &fn = functionOf(inst);
+        vm::MethodId root = flight.root;
+        const Closure &closure = closureFor(root);
+        InstallResult install = fn.install(closure);
+        sim::SimTime transfer = server_.network().oneWay(
+            server_.endpoint(), fn.node(), install.bytes);
+        server_.sim().after(
+            transfer,
+            [this, flight_id, &inst, root, had_snapshot,
+             snapshot = std::move(snapshot)]() mutable {
+                auto it = flights_.find(flight_id);
+                if (it == flights_.end())
+                    return;
+                BeeHiveFunction &fn = functionOf(inst);
+                auto done = [this, flight_id](
+                                Value result,
+                                const RequestTrace &trace) {
+                    finishFlight(flight_id, result, trace);
+                };
+                if (had_snapshot) {
+                    // Resume from the last synchronization point.
+                    ++stats_.resumed_from_snapshot;
+                    fn.resume(root, std::move(snapshot),
+                              it->second.shadow, done);
+                } else {
+                    // Full re-execution of the invocation.
+                    fn.invoke(root, it->second.args,
+                              it->second.shadow, done);
+                }
+            });
+    });
+}
+
+} // namespace beehive::core

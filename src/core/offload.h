@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The offload manager: BeeHive's scaling brain.
+ *
+ * Incoming requests are split between local execution and FaaS
+ * offload by the *offloading ratio* (Section 3.1: "BeeHive can scale
+ * in and out by setting the ratio"); a burst handler (in the
+ * experiment harness) raises the ratio when a burst hits and lowers
+ * it when capacity returns.
+ *
+ * For each offloaded request the manager acquires a function
+ * instance from the platform (cold or warm), installs the root's
+ * initial closure on first contact, and applies shadow execution
+ * (Section 3.4): the first invocation per (instance, root) runs as
+ * a side-effect-free duplicate while the real request is served
+ * locally, hiding cold boot + JVM warmup + fallback storms from
+ * users. Warmed instances serve real offloaded requests.
+ *
+ * Failure recovery (Section 4.5): with recovery enabled, functions
+ * snapshot their stack at each synchronization point; when an
+ * instance is killed mid-invocation the manager reruns the request
+ * on a fresh instance, resuming from the snapshot when one exists.
+ */
+
+#ifndef BEEHIVE_CORE_OFFLOAD_H
+#define BEEHIVE_CORE_OFFLOAD_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cloud/faas.h"
+#include "core/closure.h"
+#include "core/function.h"
+#include "core/server.h"
+
+namespace beehive::core {
+
+/** Aggregate offloading statistics. */
+struct OffloadStats
+{
+    uint64_t local = 0;         //!< requests served on the server
+    uint64_t offloaded = 0;     //!< real offloaded requests
+    uint64_t shadows = 0;       //!< shadow executions launched
+    uint64_t recoveries = 0;    //!< failure recoveries performed
+    uint64_t resumed_from_snapshot = 0;
+};
+
+/** Routes requests between the server and FaaS functions. */
+class OffloadManager
+{
+  public:
+    using DoneCb = BeeHiveServer::DoneCb;
+
+    /**
+     * Creating the manager installs the offload policy and dispatch
+     * hook on the server: annotated handler call sites then
+     * redirect to FaaS per the offloading ratio.
+     */
+    OffloadManager(BeeHiveServer &server,
+                   cloud::FaasPlatform &platform);
+
+    /** @name Scaling control */
+    /// @{
+    /** Set the fraction of requests sent to FaaS (0 disables). */
+    void setOffloadRatio(double ratio);
+    double offloadRatio() const { return ratio_; }
+
+    /** Cap concurrent offloaded invocations (excess runs locally). */
+    void setMaxConcurrentOffloads(std::size_t n) { max_offloads_ = n; }
+    /// @}
+
+    /**
+     * Declare @p root offloadable and remember representative
+     * arguments for closure construction. Typically fed from
+     * Profiler::selectRoots().
+     */
+    void enableRoot(vm::MethodId root,
+                    std::vector<vm::Value> sample_args);
+
+    bool isEnabled(vm::MethodId root) const;
+
+    /**
+     * Main entry: serve one request, locally or offloaded per the
+     * current ratio.
+     */
+    void handleRequest(vm::MethodId root, std::vector<vm::Value> args,
+                       DoneCb done);
+
+    /**
+     * Kill the function currently running @p victim_index-th
+     * in-flight offloaded invocation (failure injection). The
+     * request is recovered on a fresh instance.
+     *
+     * @retval false when no in-flight offloaded invocation exists.
+     */
+    bool injectFailure();
+
+    const OffloadStats &stats() const { return stats_; }
+
+    /** All completed traces as (root, trace) pairs (Table 5). */
+    const std::vector<std::pair<vm::MethodId, RequestTrace>> &
+    traces() const
+    {
+        return traces_;
+    }
+
+    /** The closure built for @p root (closure metrics; may build). */
+    const Closure &closureFor(vm::MethodId root);
+
+    BeeHiveServer &server() { return server_; }
+    cloud::FaasPlatform &platform() { return platform_; }
+
+  private:
+    struct RootState
+    {
+        bool enabled = false;
+        bool closure_built = false;
+        Closure closure;
+        std::vector<vm::Value> sample_args;
+    };
+
+    struct InFlight
+    {
+        vm::MethodId root = vm::kNoMethod;
+        std::vector<vm::Value> args;
+        DoneCb done;
+        cloud::FunctionInstance *instance = nullptr;
+        bool shadow = false;
+    };
+
+    void offload(vm::MethodId root, std::vector<vm::Value> args,
+                 DoneCb done);
+
+    /** OffloadCall dispatch from a server-side interpreter. */
+    void dispatchOffloadCall(vm::MethodId root,
+                             std::vector<vm::Value> args, DoneCb done);
+
+    /** Run the invocation once the instance + closure are ready. */
+    void dispatchOn(cloud::FunctionInstance &inst, uint64_t flight_id);
+
+    BeeHiveFunction &functionOf(cloud::FunctionInstance &inst);
+
+    void finishFlight(uint64_t flight_id, vm::Value result,
+                      const RequestTrace &trace);
+
+    void recover(uint64_t flight_id, std::vector<vm::Frame> snapshot,
+                 bool had_snapshot);
+
+    BeeHiveServer &server_;
+    cloud::FaasPlatform &platform_;
+    double ratio_ = 0.0;
+    std::size_t max_offloads_ = 64;
+    std::size_t active_offloads_ = 0;
+    std::map<vm::MethodId, RootState> roots_;
+    std::map<uint64_t, InFlight> flights_;
+    uint64_t next_flight_ = 1;
+    OffloadStats stats_;
+    std::vector<std::pair<vm::MethodId, RequestTrace>> traces_;
+    Rng rng_;
+};
+
+} // namespace beehive::core
+
+#endif // BEEHIVE_CORE_OFFLOAD_H

@@ -1,0 +1,401 @@
+#include "core/server.h"
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace beehive::core {
+
+using vm::Value;
+
+std::optional<Value>
+tryMaterializeDbResponse(vm::VmContext &ctx, const db::Request &req,
+                         const db::Response &resp)
+{
+    switch (req.kind) {
+      case db::OpKind::Put:
+      case db::OpKind::Delete:
+      case db::OpKind::Count:
+        return Value::ofInt(resp.ok ? resp.count : -1);
+      case db::OpKind::Get:
+      case db::OpKind::Scan: {
+        vm::Heap &heap = ctx.heap();
+        vm::KlassId arr_k = ctx.config().array_klass;
+        vm::KlassId bytes_k = ctx.config().bytes_klass;
+        bh_assert(arr_k != vm::kNoKlass && bytes_k != vm::kNoKlass,
+                  "array/bytes klass not configured");
+        vm::Ref arr = heap.allocArray(
+            arr_k, static_cast<uint32_t>(resp.rows.size()));
+        if (arr == vm::kNullRef)
+            return std::nullopt;
+        for (std::size_t i = 0; i < resp.rows.size(); ++i) {
+            const db::Row &row = resp.rows[i];
+            std::string wire = strprintf("%lld", static_cast<long long>(
+                                                     row.id));
+            for (const auto &[k, v] : row.fields)
+                wire += "|" + k + "=" + v;
+            vm::Ref cell = heap.allocBytes(bytes_k, wire);
+            if (cell == vm::kNullRef)
+                return std::nullopt;
+            heap.setElem(arr, static_cast<uint32_t>(i),
+                         Value::ofRef(cell));
+        }
+        return Value::ofRef(arr);
+      }
+    }
+    return Value::nil();
+}
+
+Value
+materializeDbResponse(vm::VmContext &ctx, const db::Request &req,
+                      const db::Response &resp)
+{
+    auto v = tryMaterializeDbResponse(ctx, req, resp);
+    bh_assert(v.has_value(), "heap exhausted materializing db rows");
+    return *v;
+}
+
+// ---------------------------------------------------------------------
+// LocalInvocation: the per-request state machine on the server.
+// ---------------------------------------------------------------------
+
+class BeeHiveServer::LocalInvocation
+{
+  public:
+    LocalInvocation(BeeHiveServer &server, vm::MethodId root,
+                    std::vector<Value> args, DoneCb done,
+                    bool suppress_offload)
+        : server_(server), interp_(server.context()), root_(root),
+          done_(std::move(done))
+    {
+        interp_.setSuppressOffload(suppress_offload);
+        if (server_.profiling()) {
+            // Handlers reached through framework plumbing are
+            // profiled by the interpreter's candidate tracking;
+            // directly-started candidate roots use plain recording.
+            interp_.enableCandidateProfiling(true);
+            recording_ = server_.profiler().isCandidate(root);
+            interp_.enableRecording(recording_);
+        }
+        interp_.start(root, std::move(args));
+    }
+
+    /** GC root access for the server collector. */
+    vm::Interpreter &interp() { return interp_; }
+
+    void
+    begin()
+    {
+        ++server_.stats_.local_requests;
+        pump();
+    }
+
+  private:
+    void
+    pump()
+    {
+        vm::Suspend s = interp_.run();
+        double cost = interp_.consumeCost();
+        total_cost_ += cost;
+        if (cost > 0.0) {
+            server_.machine().cpu().submit(
+                cost, [this, s] { dispatch(s); });
+        } else {
+            dispatch(s);
+        }
+    }
+
+    void
+    dispatch(const vm::Suspend &s)
+    {
+        switch (s.kind) {
+          case vm::Suspend::Kind::Done:
+            finish(s.result);
+            return;
+
+          case vm::Suspend::Kind::Quantum:
+            pump();
+            return;
+
+          case vm::Suspend::Kind::External: {
+            auto payload = std::any_cast<DbCallPayload>(s.external);
+            db::Response resp = server_.proxy().request(
+                static_cast<proxy::ConnId>(payload.conn_token),
+                payload.request);
+            sim::SimTime latency =
+                server_.dbRoundTrip(payload.request, resp);
+            server_.sim().after(latency, [this, payload, resp] {
+                auto v = tryMaterializeDbResponse(
+                    server_.context(), payload.request, resp);
+                if (!v) {
+                    server_.runGc();
+                    v = tryMaterializeDbResponse(server_.context(),
+                                                 payload.request,
+                                                 resp);
+                }
+                bh_assert(v.has_value(), "server heap exhausted");
+                interp_.resumeExternal(*v);
+                pump();
+            });
+            return;
+          }
+
+          case vm::Suspend::Kind::MonitorAcquire: {
+            vm::Ref obj = s.monitor_obj;
+            server_.sync().acquireMonitor(
+                0, this, obj,
+                [this, obj](const SyncManager::SyncResult &r) {
+                    sim::SimTime latency;
+                    if (r.remote && r.prev_owner != 0) {
+                        // Coordinate with the previous owner
+                        // function (Figure 6).
+                        net::EndpointId fn_node =
+                            server_.functionNode(r.prev_owner);
+                        latency = server_.network().roundTrip(
+                            server_.endpoint(), fn_node, 64,
+                            r.bytes_transferred + 64);
+                    }
+                    interp_.grantMonitor(obj);
+                    server_.sim().after(latency,
+                                        [this] { pump(); });
+                });
+            return;
+          }
+
+          case vm::Suspend::Kind::MonitorRelease: {
+            server_.sync().releaseMonitor(0, this, s.monitor_obj);
+            interp_.grantRelease();
+            pump();
+            return;
+          }
+
+          case vm::Suspend::Kind::VolatileSync: {
+            // Volatile acquire/release: pull the last releaser's
+            // state (no mutual exclusion involved).
+            vm::Ref obj = s.monitor_obj;
+            SyncManager::SyncResult r =
+                server_.sync().acquire(0, obj);
+            sim::SimTime latency;
+            if (r.remote && r.prev_owner != 0) {
+                latency = server_.network().roundTrip(
+                    server_.endpoint(),
+                    server_.functionNode(r.prev_owner), 64,
+                    r.bytes_transferred + 64);
+            }
+            interp_.grantVolatile(obj);
+            server_.sim().after(latency, [this] { pump(); });
+            return;
+          }
+
+          case vm::Suspend::Kind::HeapFull: {
+            sim::SimTime pause = server_.runGc();
+            server_.sim().after(pause, [this] { pump(); });
+            return;
+          }
+
+          case vm::Suspend::Kind::OffloadCall: {
+            bh_assert(server_.offload_dispatch_,
+                      "OffloadCall without an offload manager");
+            server_.offload_dispatch_(
+                s.offload_method, s.offload_args,
+                [this](Value result) {
+                    interp_.resumeExternal(result);
+                    pump();
+                });
+            return;
+          }
+
+          case vm::Suspend::Kind::ClassFault:
+          case vm::Suspend::Kind::ObjectFault:
+          case vm::Suspend::Kind::NativeFallback:
+            panic("impossible suspend on the server (kind %d)",
+                  static_cast<int>(s.kind));
+        }
+    }
+
+    void
+    finish(Value result)
+    {
+        // Safety net: a request must not exit holding monitors.
+        server_.sync().abandonHolder(this);
+        if (recording_) {
+            server_.profiler().recordExecution(
+                root_, total_cost_, interp_.recordedKlasses(),
+                interp_.recordedStatics(),
+                interp_.stats().monitor_enters);
+        }
+        DoneCb done = std::move(done_);
+        BeeHiveServer &server = server_;
+        server.active_.erase(this);
+        delete this;
+        done(result);
+        server.drainQueue();
+    }
+
+    BeeHiveServer &server_;
+    vm::Interpreter interp_;
+    vm::MethodId root_;
+    DoneCb done_;
+    bool recording_ = false;
+    double total_cost_ = 0.0;
+};
+
+// ---------------------------------------------------------------------
+// BeeHiveServer
+// ---------------------------------------------------------------------
+
+BeeHiveServer::BeeHiveServer(sim::Simulation &sim, net::Network &net,
+                             vm::Program &program,
+                             vm::NativeRegistry &natives,
+                             proxy::ConnectionProxy &proxy,
+                             net::EndpointId db_endpoint,
+                             cloud::Instance &machine,
+                             BeeHiveConfig config)
+    : sim_(sim), net_(net), program_(program), natives_(natives),
+      proxy_(proxy), db_endpoint_(db_endpoint), machine_(machine),
+      config_(config), profiler_(program)
+{
+    heap_ = std::make_unique<vm::Heap>(program_,
+                                       config_.server_closure_bytes,
+                                       config_.server_alloc_bytes);
+    vm::VmConfig vm_cfg = config_.server_vm;
+    vm_cfg.endpoint = 0;
+    vm_cfg.check_remote_refs = false;
+    ctx_ = std::make_unique<vm::VmContext>(program_, natives_, *heap_,
+                                           vm_cfg);
+    ctx_->loadAll();
+    ctx_->setProfiler(&profiler_);
+
+    sync_.registerServer(ctx_.get());
+
+    // Dirty tracking: stores to shared objects feed the server's
+    // dirty set so later function acquires see them.
+    heap_->setWriteObserver([this](vm::Ref obj) {
+        if (heap_->header(obj).flags & vm::kFlagShared)
+            sync_.markDirty(0, obj);
+    });
+
+    // Monitor policy: monitors of shared objects go through the
+    // SyncManager's monitor table (mutual exclusion + JMM data
+    // transfer); request-local objects stay cheap.
+    ctx_->setMonitorPolicy([this](vm::Ref obj) {
+        return sync_.monitorIsShared(0, obj);
+    });
+
+    // Server GC: frames of active requests + statics + mapping
+    // tables + sync manager state.
+    collector_ = std::make_unique<gc::SemiSpaceCollector>(*heap_);
+    collector_->addValueRoots([this](const auto &visit) {
+        for (LocalInvocation *inv : active_)
+            inv->interp().forEachRoot(visit);
+        for (QueuedRequest &req : queue_) {
+            for (vm::Value &v : req.args)
+                visit(v);
+        }
+        ctx_->forEachStatic(visit);
+    });
+    collector_->addRefRoots([this](const auto &visit) {
+        for (auto &[id, table] : mappings_)
+            table->forEachServerRef(visit);
+        sync_.forEachServerRef(visit);
+    });
+}
+
+void
+BeeHiveServer::handleLocal(vm::MethodId root, std::vector<Value> args,
+                           DoneCb done, bool suppress_offload)
+{
+    // Suppressed-offload executions are internal dispatches (the
+    // local leg of a shadowed request, or an offload that fell back
+    // to local execution): conceptually they run on the thread that
+    // is already processing the outer request, so they bypass the
+    // pool -- queueing them behind outer requests that are waiting
+    // for exactly these dispatches would deadlock the pool.
+    if (!suppress_offload &&
+        active_.size() >= config_.server_max_active) {
+        // Thread pool exhausted: queue (bounded memory; queueing
+        // latency is what overload looks like to clients).
+        queue_.push_back(QueuedRequest{root, std::move(args),
+                                       std::move(done),
+                                       suppress_offload});
+        return;
+    }
+    launch(root, std::move(args), std::move(done), suppress_offload);
+}
+
+void
+BeeHiveServer::launch(vm::MethodId root, std::vector<Value> args,
+                      DoneCb done, bool suppress_offload)
+{
+    auto *inv = new LocalInvocation(*this, root, std::move(args),
+                                    std::move(done), suppress_offload);
+    active_.insert(inv);
+    inv->begin();
+}
+
+void
+BeeHiveServer::drainQueue()
+{
+    while (!queue_.empty() &&
+           active_.size() < config_.server_max_active) {
+        QueuedRequest req = std::move(queue_.front());
+        queue_.pop_front();
+        launch(req.root, std::move(req.args), std::move(req.done),
+               req.suppress_offload);
+    }
+}
+
+uint16_t
+BeeHiveServer::registerFunction(vm::VmContext *fn_ctx,
+                                net::EndpointId node)
+{
+    uint16_t id = next_fn_endpoint_++;
+    mappings_[id] = std::make_unique<MappingTable>();
+    fn_nodes_[id] = node;
+    sync_.registerFunction(id, fn_ctx, mappings_[id].get());
+    return id;
+}
+
+MappingTable &
+BeeHiveServer::mappingFor(uint16_t fn_endpoint)
+{
+    auto it = mappings_.find(fn_endpoint);
+    bh_assert(it != mappings_.end(), "unknown function endpoint %u",
+              fn_endpoint);
+    return *it->second;
+}
+
+net::EndpointId
+BeeHiveServer::functionNode(uint16_t fn_endpoint) const
+{
+    auto it = fn_nodes_.find(fn_endpoint);
+    bh_assert(it != fn_nodes_.end(), "unknown function endpoint %u",
+              fn_endpoint);
+    return it->second;
+}
+
+void
+BeeHiveServer::dropFunction(uint16_t fn_endpoint)
+{
+    sync_.unregisterFunction(fn_endpoint);
+    mappings_.erase(fn_endpoint);
+    fn_nodes_.erase(fn_endpoint);
+}
+
+sim::SimTime
+BeeHiveServer::runGc()
+{
+    gc::GcCycleStats stats = collector_->collect();
+    ++stats_.gc_cycles;
+    return stats.pause;
+}
+
+sim::SimTime
+BeeHiveServer::dbRoundTrip(const db::Request &req,
+                           const db::Response &resp)
+{
+    return net_.roundTrip(endpoint(), db_endpoint_, req.wireSize(),
+                          resp.wireSize()) +
+           proxy_.processingTime() + proxy_.dbServiceTime(req);
+}
+
+} // namespace beehive::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-invocation accounting used by the fallback analysis (Table 5)
+ * and the Section 5.6 breakdowns.
+ */
+
+#ifndef BEEHIVE_CORE_TRACE_H
+#define BEEHIVE_CORE_TRACE_H
+
+#include <cstdint>
+
+#include "sim/sim_time.h"
+
+namespace beehive::core {
+
+/** Why a fallback to the server happened. */
+enum class FallbackKind
+{
+    MissingCode,   //!< class fault: fetch bytecode from the server
+    MissingData,   //!< object fault: fetch an object
+    Native,        //!< un-offloadable native invocation
+    Sync,          //!< JMM monitor synchronization
+    Connection,    //!< network op without proxy support (ablations)
+};
+
+/** Counters for one offloaded invocation. */
+struct RequestTrace
+{
+    bool shadow = false;
+
+    uint64_t fallbacks = 0;
+    uint64_t code_fetches = 0;
+    uint64_t data_fetches = 0;
+    uint64_t native_fallbacks = 0;
+    uint64_t sync_fallbacks = 0;
+    uint64_t connection_fallbacks = 0;
+
+    /** Objects transferred by monitor synchronizations. */
+    uint64_t synchronized_objects = 0;
+
+    /** Proxy-routed database operations (no fallback needed). */
+    uint64_t db_ops = 0;
+
+    /** End-to-end duration of the invocation on the function. */
+    sim::SimTime duration;
+    /** Wall time spent in fallback round trips. */
+    sim::SimTime fallback_time;
+    /** Portion of fallback time spent fetching code/data. */
+    sim::SimTime fetch_time;
+    /** Time spent in synchronization round trips. */
+    sim::SimTime sync_time;
+    /** Time spent waiting on GC pauses. */
+    sim::SimTime gc_time;
+
+    /** Total remote fetches (code + data), Table 5's row. */
+    uint64_t
+    remoteFetches() const
+    {
+        return code_fetches + data_fetches;
+    }
+
+    void
+    countFallback(FallbackKind kind)
+    {
+        ++fallbacks;
+        switch (kind) {
+          case FallbackKind::MissingCode: ++code_fetches; break;
+          case FallbackKind::MissingData: ++data_fetches; break;
+          case FallbackKind::Native: ++native_fallbacks; break;
+          case FallbackKind::Sync: ++sync_fallbacks; break;
+          case FallbackKind::Connection:
+            ++connection_fallbacks;
+            break;
+        }
+    }
+
+    /** Merge another trace into this one (aggregation). */
+    void
+    merge(const RequestTrace &o)
+    {
+        fallbacks += o.fallbacks;
+        code_fetches += o.code_fetches;
+        data_fetches += o.data_fetches;
+        native_fallbacks += o.native_fallbacks;
+        sync_fallbacks += o.sync_fallbacks;
+        connection_fallbacks += o.connection_fallbacks;
+        synchronized_objects += o.synchronized_objects;
+        db_ops += o.db_ops;
+        fallback_time += o.fallback_time;
+        fetch_time += o.fetch_time;
+        sync_time += o.sync_time;
+        gc_time += o.gc_time;
+    }
+};
+
+} // namespace beehive::core
+
+#endif // BEEHIVE_CORE_TRACE_H

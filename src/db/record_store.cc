@@ -1,0 +1,149 @@
+#include "db/record_store.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace beehive::db {
+
+uint64_t
+Row::wireSize() const
+{
+    uint64_t size = 16; // key + framing
+    for (const auto &[k, v] : fields)
+        size += k.size() + v.size() + 8;
+    return size;
+}
+
+uint64_t
+Request::wireSize() const
+{
+    uint64_t size = 32 + table.size();
+    if (kind == OpKind::Put)
+        size += row.wireSize();
+    return size;
+}
+
+uint64_t
+Response::wireSize() const
+{
+    uint64_t size = 16;
+    for (const auto &r : rows)
+        size += r.wireSize();
+    return size;
+}
+
+void
+RecordStore::createTable(const std::string &name)
+{
+    tables_.try_emplace(name);
+}
+
+bool
+RecordStore::hasTable(const std::string &name) const
+{
+    return tables_.count(name) > 0;
+}
+
+std::size_t
+RecordStore::tableSize(const std::string &name) const
+{
+    auto it = tables_.find(name);
+    return it == tables_.end() ? 0 : it->second.size();
+}
+
+Response
+RecordStore::read(const Request &req) const
+{
+    bh_assert(req.kind == OpKind::Get || req.kind == OpKind::Scan ||
+                  req.kind == OpKind::Count,
+              "read() requires a read-only request");
+    // Reads never mutate, so delegating through a non-const self is
+    // safe and avoids duplicating the dispatch.
+    return const_cast<RecordStore *>(this)->execute(req);
+}
+
+Response
+RecordStore::execute(const Request &req)
+{
+    Response resp;
+    auto tit = tables_.find(req.table);
+    if (tit == tables_.end())
+        return resp;
+    Table &table = tit->second;
+
+    switch (req.kind) {
+      case OpKind::Get: {
+        auto it = table.find(req.key);
+        if (it == table.end())
+            return resp;
+        resp.rows.push_back(it->second);
+        resp.ok = true;
+        break;
+      }
+      case OpKind::Put: {
+        Row row = req.row;
+        row.id = req.key;
+        table[req.key] = std::move(row);
+        resp.count = 1;
+        resp.ok = true;
+        break;
+      }
+      case OpKind::Delete: {
+        resp.count = static_cast<int64_t>(table.erase(req.key));
+        resp.ok = true;
+        break;
+      }
+      case OpKind::Scan: {
+        auto it = table.begin();
+        std::advance(it, std::min<std::size_t>(
+            static_cast<std::size_t>(std::max<int64_t>(req.offset, 0)),
+            table.size()));
+        for (int64_t n = 0; it != table.end() && n < req.limit;
+             ++it, ++n) {
+            resp.rows.push_back(it->second);
+        }
+        resp.ok = true;
+        break;
+      }
+      case OpKind::Count: {
+        resp.count = static_cast<int64_t>(table.size());
+        resp.ok = true;
+        break;
+      }
+    }
+    return resp;
+}
+
+sim::SimTime
+RecordStore::serviceTime(const Request &req) const
+{
+    // Calibrated to a well-provisioned MySQL on a large instance
+    // (the paper uses m4.10xlarge so the DB is never the
+    // bottleneck): point ops tens of microseconds, scans scale
+    // with the number of rows returned.
+    switch (req.kind) {
+      case OpKind::Get:
+      case OpKind::Delete:
+        return sim::SimTime::usec(30);
+      case OpKind::Put:
+        return sim::SimTime::usec(50);
+      case OpKind::Count:
+        return sim::SimTime::usec(20);
+      case OpKind::Scan:
+        return sim::SimTime::usec(25 + 2 * std::max<int64_t>(req.limit,
+                                                             1));
+    }
+    return sim::SimTime::usec(30);
+}
+
+void
+RecordStore::load(const std::string &table, const std::vector<Row> &rows)
+{
+    createTable(table);
+    Table &t = tables_[table];
+    for (const auto &r : rows)
+        t[r.id] = r;
+}
+
+} // namespace beehive::db

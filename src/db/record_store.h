@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The external database service.
+ *
+ * The paper's web applications keep their persistent state in MySQL
+ * behind connection pools; a pybbs comment request performs more
+ * than 80 rounds of communication with the database (Section 3.3).
+ * This record store reproduces that interaction shape: stateful
+ * connections carry point reads, scans, and writes against named
+ * tables, each with a modelled service time and a result size that
+ * feeds the network transfer model.
+ */
+
+#ifndef BEEHIVE_DB_RECORD_STORE_H
+#define BEEHIVE_DB_RECORD_STORE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace beehive::db {
+
+/** One stored row: a primary key plus string fields. */
+struct Row
+{
+    int64_t id = 0;
+    std::map<std::string, std::string> fields;
+
+    /** Approximate wire size of this row in bytes. */
+    uint64_t wireSize() const;
+};
+
+/** Database operation kinds. */
+enum class OpKind { Get, Put, Scan, Count, Delete };
+
+/** A request as it appears on a database connection. */
+struct Request
+{
+    Request() = default;
+
+    /** Convenience constructor for point operations. */
+    Request(OpKind kind, std::string table, int64_t key = 0)
+        : kind(kind), table(std::move(table)), key(key)
+    {}
+
+    OpKind kind = OpKind::Get;
+    std::string table;
+    int64_t key = 0;         //!< Get/Put/Delete target.
+    int64_t offset = 0;      //!< Scan start offset.
+    int64_t limit = 0;       //!< Scan row limit.
+    Row row;                 //!< Put payload.
+
+    uint64_t wireSize() const;
+};
+
+/** The response to a Request. */
+struct Response
+{
+    bool ok = false;
+    std::vector<Row> rows;   //!< Get/Scan results.
+    int64_t count = 0;       //!< Count result / rows affected.
+
+    uint64_t wireSize() const;
+};
+
+/**
+ * In-memory multi-table record store with per-op service times.
+ *
+ * Mutating operations may be redirected into an overlay (see
+ * proxy::ShadowSession) by the proxy; the store itself is oblivious
+ * to shadow execution.
+ */
+class RecordStore
+{
+  public:
+    /** Create an empty table (idempotent). */
+    void createTable(const std::string &name);
+
+    /** True if the table exists. */
+    bool hasTable(const std::string &name) const;
+
+    /** Number of rows in a table (0 for missing tables). */
+    std::size_t tableSize(const std::string &name) const;
+
+    /**
+     * Execute a request against the store.
+     *
+     * @param req The operation.
+     * @return The response; ok=false on missing table/row.
+     */
+    Response execute(const Request &req);
+
+    /**
+     * Execute a read-only request (Get/Scan/Count) without mutating
+     * the store. panic()s on write requests.
+     */
+    Response read(const Request &req) const;
+
+    /**
+     * Modelled service time for a request (CPU + storage work on
+     * the database machine, excluding network).
+     */
+    sim::SimTime serviceTime(const Request &req) const;
+
+    /** Bulk-load helper used by workload setup. */
+    void load(const std::string &table, const std::vector<Row> &rows);
+
+  private:
+    using Table = std::map<int64_t, Row>;
+
+    std::map<std::string, Table> tables_;
+};
+
+} // namespace beehive::db
+
+#endif // BEEHIVE_DB_RECORD_STORE_H

@@ -1,0 +1,236 @@
+#include "harness/burst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "support/logging.h"
+
+namespace beehive::harness {
+
+using sim::SimTime;
+
+const char *
+solutionName(Solution solution)
+{
+    switch (solution) {
+      case Solution::Burstable: return "Burstable";
+      case Solution::OnDemand: return "EC2";
+      case Solution::Fargate: return "Fargate";
+      case Solution::BeeHiveO: return "BeeHiveO";
+      case Solution::BeeHiveL: return "BeeHiveL";
+      case Solution::Combo: return "BeeHive+EC2";
+    }
+    return "?";
+}
+
+int
+defaultClients(AppKind app)
+{
+    ClientCalibration cal;
+    switch (app) {
+      case AppKind::Thumbnail: return cal.thumbnail;
+      case AppKind::Pybbs: return cal.pybbs;
+      case AppKind::Blog: return cal.blog;
+    }
+    return 8;
+}
+
+namespace {
+
+bool
+isBeeHive(Solution solution)
+{
+    return solution == Solution::BeeHiveO ||
+           solution == Solution::BeeHiveL ||
+           solution == Solution::Combo;
+}
+
+cloud::ScalingKind
+scalingKindOf(Solution solution)
+{
+    switch (solution) {
+      case Solution::Burstable: return cloud::ScalingKind::Burstable;
+      case Solution::OnDemand: return cloud::ScalingKind::OnDemand;
+      case Solution::Fargate: return cloud::ScalingKind::Fargate;
+      default: panic("not an instance-scaling solution");
+    }
+}
+
+const cloud::InstanceType &
+instanceTypeOf(Solution solution)
+{
+    switch (solution) {
+      case Solution::Burstable: return cloud::t3XLarge();
+      case Solution::OnDemand: return cloud::m4XLarge();
+      case Solution::Fargate: return cloud::fargate4();
+      default: panic("not an instance-scaling solution");
+    }
+}
+
+} // namespace
+
+BurstResult
+runBurstExperiment(const BurstOptions &options)
+{
+    TestbedOptions tb_opts;
+    tb_opts.app = options.app;
+    tb_opts.seed = options.seed;
+    tb_opts.vanilla = !isBeeHive(options.solution);
+    tb_opts.faas = options.solution == Solution::BeeHiveL
+                       ? FaasFlavor::Lambda
+                       : FaasFlavor::OpenWhisk;
+    tb_opts.framework = options.framework;
+    tb_opts.beehive = options.beehive;
+    Testbed bed(tb_opts);
+
+    if (isBeeHive(options.solution)) {
+        bool selected = bed.runProfilingPhase();
+        bh_assert(selected, "profiler failed to select the handler");
+    }
+    // The profiling phase consumed some simulated time; rebase the
+    // experiment timeline from here.
+    SimTime t0 = bed.sim().now();
+    auto at = [&](SimTime offset) { return t0 + offset; };
+
+    int base = options.base_clients > 0 ? options.base_clients
+                                        : defaultClients(options.app);
+
+    // --- Request routing: everything to the primary server until a
+    // baseline scale-out instance is ready, then alternate.
+    auto second_sink = std::make_shared<workload::RequestSink>();
+    workload::RequestSink primary = bed.sink();
+    workload::RequestSink route =
+        [primary, second_sink](int64_t id,
+                               std::function<void()> done) {
+            if (*second_sink && (id & 1)) {
+                (*second_sink)(id, std::move(done));
+                return;
+            }
+            primary(id, std::move(done));
+        };
+
+    workload::Recorder recorder;
+    recorder.setWarmupCutoff(at(SimTime::sec(5)));
+    workload::ClosedLoopClients clients(bed.sim(), route, recorder);
+    clients.start(base, at(SimTime()));
+    clients.startWindow(base, at(options.burst_at),
+                        at(options.duration));
+
+    // --- The burst handler.
+    std::unique_ptr<cloud::InstanceScaler> scaler;
+    if (options.solution == Solution::Combo) {
+        // Section 5.7: offload immediately, request an on-demand
+        // instance, and stop offloading once it is ready.
+        core::OffloadManager *mgr = bed.manager();
+        scaler = std::make_unique<cloud::InstanceScaler>(
+            bed.sim(), bed.network(), cloud::ScalingKind::OnDemand,
+            cloud::m4XLarge(), "vpc");
+        bed.sim().at(at(options.burst_at), [&, mgr] {
+            mgr->setOffloadRatio(options.offload_ratio);
+            scaler->requestInstance([&,
+                                     mgr](cloud::Instance &machine) {
+                core::BeeHiveServer &second =
+                    bed.addBaselineServer(machine);
+                *second_sink = bed.sinkTo(second);
+                mgr->setOffloadRatio(0.0);
+            });
+        });
+    } else if (isBeeHive(options.solution)) {
+        core::OffloadManager *mgr = bed.manager();
+        if (options.warm_faas) {
+            // Pre-burst drill: briefly offload so instances are
+            // created, warmed, and parked in the platform cache
+            // (always ending well before the burst).
+            SimTime drill_on = options.burst_at - SimTime::sec(24);
+            SimTime drill_off = options.burst_at - SimTime::sec(8);
+            bed.sim().at(at(drill_on), [&, mgr] {
+                mgr->setOffloadRatio(options.offload_ratio);
+            });
+            bed.sim().at(at(drill_off),
+                         [mgr] { mgr->setOffloadRatio(0.0); });
+        }
+        bed.sim().at(at(options.burst_at), [&, mgr] {
+            mgr->setOffloadRatio(options.offload_ratio);
+        });
+    } else {
+        scaler = std::make_unique<cloud::InstanceScaler>(
+            bed.sim(), bed.network(), scalingKindOf(options.solution),
+            instanceTypeOf(options.solution), "vpc");
+        bed.sim().at(at(options.burst_at), [&] {
+            scaler->requestInstance([&](cloud::Instance &machine) {
+                core::BeeHiveServer &second =
+                    bed.addBaselineServer(machine);
+                *second_sink = bed.sinkTo(second);
+            });
+        });
+    }
+
+    bed.sim().runUntil(at(options.duration));
+    clients.stopAll();
+    bed.sim().runUntil(at(options.duration) + SimTime::sec(2));
+
+    // --- Analysis.
+    BurstResult result;
+    result.completed_requests = recorder.completed();
+    std::size_t seconds =
+        static_cast<std::size_t>(options.duration.toSeconds());
+    std::size_t base_bucket =
+        static_cast<std::size_t>(t0.toSeconds());
+    for (std::size_t s = 0; s < seconds; ++s) {
+        result.p99_per_second.push_back(
+            recorder.series().bucketPercentile(base_bucket + s, 99));
+        result.mean_per_second.push_back(
+            recorder.series().bucketMean(base_bucket + s));
+    }
+
+    result.pre_burst_p99 = recorder.windowPercentile(
+        at(options.burst_at - SimTime::sec(15)), at(options.burst_at),
+        99);
+
+    // Stabilization analysis: the first post-burst moment from
+    // which the tail stays within a band around the run's own final
+    // steady level (last fifth of the experiment). The steady level
+    // itself is reported alongside: a solution that "stabilizes"
+    // only because the experiment ended before its capacity arrived
+    // shows an elevated stable_p99 relative to the others.
+    result.stable_p99 = recorder.windowPercentile(
+        at(options.duration - SimTime::sec(15)), at(options.duration),
+        99);
+    double burst_s = options.burst_at.toSeconds();
+    double pre_band = std::max(result.pre_burst_p99 * 1.3,
+                               result.pre_burst_p99 + 0.010);
+    double threshold = std::max(result.stable_p99 * 1.25, pre_band);
+    if (!std::isnan(result.stable_p99)) {
+        for (std::size_t s = static_cast<std::size_t>(burst_s);
+             s + 2 < result.p99_per_second.size(); ++s) {
+            bool stable = true;
+            for (std::size_t k = s; k < s + 3; ++k) {
+                double v = result.p99_per_second[k];
+                if (std::isnan(v) || v > threshold) {
+                    stable = false;
+                    break;
+                }
+            }
+            if (stable) {
+                result.stabilization_seconds =
+                    static_cast<double>(s) - burst_s;
+                break;
+            }
+        }
+    }
+
+    if (isBeeHive(options.solution)) {
+        result.scaling_cost =
+            bed.platform()->accruedCost(bed.sim().now());
+        result.offload = bed.manager()->stats();
+        if (scaler) // combo: FaaS + the on-demand instance
+            result.scaling_cost +=
+                scaler->accruedCost(bed.sim().now());
+    } else {
+        result.scaling_cost = scaler->accruedCost(bed.sim().now());
+    }
+    return result;
+}
+
+} // namespace beehive::harness

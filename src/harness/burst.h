@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The burst-reduction experiment (paper Section 5.2, Figure 7;
+ * costs feed Table 3 and Figure 9).
+ *
+ * Scenario: closed-loop clients at near-peak load; at t=60 s the
+ * workload doubles and stays doubled. A perfect burst handler
+ * reacts immediately: baselines request one more instance from
+ * their scaling solution and forward half the workload once it is
+ * ready; BeeHive raises the offloading ratio instead.
+ */
+
+#ifndef BEEHIVE_HARNESS_BURST_H
+#define BEEHIVE_HARNESS_BURST_H
+
+#include <vector>
+
+#include "core/offload.h"
+#include "harness/testbed.h"
+
+namespace beehive::harness {
+
+/** The scaling solutions compared in Figure 7. */
+enum class Solution
+{
+    Burstable,
+    OnDemand,
+    Fargate,
+    BeeHiveO,
+    BeeHiveL,
+    /**
+     * Section 5.7's combination: BeeHive offloads the instant the
+     * burst hits AND an on-demand instance is requested; when the
+     * instance is ready, the offloading ratio drops to zero and the
+     * new instance takes half the workload -- rapid provisioning
+     * without the long-term Semi-FaaS overhead or cost.
+     */
+    Combo,
+};
+
+const char *solutionName(Solution solution);
+
+/** Burst experiment parameters. */
+struct BurstOptions
+{
+    AppKind app = AppKind::Pybbs;
+    Solution solution = Solution::BeeHiveO;
+    uint64_t seed = 1;
+
+    sim::SimTime duration = sim::SimTime::sec(180);
+    sim::SimTime burst_at = sim::SimTime::sec(60);
+
+    /** Closed-loop clients before the burst (0 = per-app default);
+     * the burst adds the same number again ("twice as heavy"). */
+    int base_clients = 0;
+
+    /** Warm-boot variant: function instances are cached and warmed
+     * before the burst (Section 5.2's sub-second result). */
+    bool warm_faas = false;
+
+    /** Offloading ratio applied at the burst. */
+    double offload_ratio = 0.5;
+
+    apps::FrameworkOptions framework;
+    core::BeeHiveConfig beehive;
+};
+
+/** Results of one burst run. */
+struct BurstResult
+{
+    /** Per-second p99 (seconds); index = experiment second. */
+    std::vector<double> p99_per_second;
+    std::vector<double> mean_per_second;
+
+    double pre_burst_p99 = 0.0;
+    /** Stabilized p99 after scaling completed. */
+    double stable_p99 = 0.0;
+    /** Seconds from the burst until tail latency stabilized
+     * (negative when it never did). */
+    double stabilization_seconds = -1.0;
+
+    /** Scaling-related cost of the whole run (Table 3). */
+    double scaling_cost = 0.0;
+
+    uint64_t completed_requests = 0;
+    core::OffloadStats offload; //!< zero for baselines
+};
+
+/** Run one Figure 7 configuration. */
+BurstResult runBurstExperiment(const BurstOptions &options);
+
+/** Default near-peak client count for an app. */
+int defaultClients(AppKind app);
+
+} // namespace beehive::harness
+
+#endif // BEEHIVE_HARNESS_BURST_H

@@ -1,0 +1,71 @@
+#include "harness/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/strutil.h"
+
+namespace beehive::harness {
+
+std::string
+fmt(double v, int decimals)
+{
+    if (std::isnan(v))
+        return "-";
+    return strprintf("%.*f", decimals, v);
+}
+
+void
+printTable(const std::string &title,
+           const std::vector<std::string> &headers,
+           const std::vector<std::vector<std::string>> &rows)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size();
+             ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        cell.c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(headers);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+void
+printSeriesHeader(const std::string &title, const std::string &x_label,
+                  const std::string &y_label)
+{
+    std::printf("\n== %s ==\n# series: label, (%s %s) pairs\n",
+                title.c_str(), x_label.c_str(), y_label.c_str());
+}
+
+void
+printSeries(const std::string &label, const std::vector<double> &xs,
+            const std::vector<double> &ys)
+{
+    std::printf("%s", label.c_str());
+    for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+        if (std::isnan(ys[i]))
+            continue;
+        std::printf(", %g %g", xs[i], ys[i]);
+    }
+    std::printf("\n");
+}
+
+} // namespace beehive::harness

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Output helpers: the benches print the paper's tables and figure
+ * series through these so everything lines up consistently.
+ */
+
+#ifndef BEEHIVE_HARNESS_REPORT_H
+#define BEEHIVE_HARNESS_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace beehive::harness {
+
+/** Print a titled, column-aligned table to stdout. */
+void printTable(const std::string &title,
+                const std::vector<std::string> &headers,
+                const std::vector<std::vector<std::string>> &rows);
+
+/**
+ * Print a figure series as "label, t0 v0, t1 v1, ..." CSV lines
+ * (one line per label) with a titled header.
+ */
+void printSeriesHeader(const std::string &title,
+                       const std::string &x_label,
+                       const std::string &y_label);
+void printSeries(const std::string &label,
+                 const std::vector<double> &xs,
+                 const std::vector<double> &ys);
+
+/** Shorthand number formatting. */
+std::string fmt(double v, int decimals = 2);
+
+} // namespace beehive::harness
+
+#endif // BEEHIVE_HARNESS_REPORT_H

@@ -1,0 +1,166 @@
+#include "harness/testbed.h"
+
+#include "support/logging.h"
+
+namespace beehive::harness {
+
+const char *
+appName(AppKind kind)
+{
+    switch (kind) {
+      case AppKind::Thumbnail: return "thumbnail";
+      case AppKind::Pybbs: return "pybbs";
+      case AppKind::Blog: return "blog";
+    }
+    return "?";
+}
+
+Testbed::Testbed(TestbedOptions options) : options_(options)
+{
+    NetCalibration net_cal;
+    VmCalibration vm_cal;
+
+    sim_ = std::make_unique<sim::Simulation>(options_.seed);
+    net_ = std::make_unique<net::Network>(options_.seed ^ 0x9e3779b9);
+    net_->setZoneLatency("vpc", "vpc", net_cal.vpc_vpc);
+    net_->setZoneLatency("vpc", "db", net_cal.vpc_db);
+    net_->setZoneLatency("lambda", "vpc", net_cal.lambda_vpc);
+    net_->setZoneLatency("lambda", "db", net_cal.lambda_db);
+    net_->setZoneLatency("db", "db", sim::SimTime::usec(20));
+    if (options_.cross_az) {
+        // OpenWhisk workers in a different availability zone.
+        net_->setZoneLatency("faas-az2", "vpc",
+                             net_cal.vpc_vpc + net_cal.cross_az_extra);
+        net_->setZoneLatency("faas-az2", "db",
+                             net_cal.vpc_db + net_cal.cross_az_extra);
+    }
+
+    // Program: framework first, then the app (all klasses must
+    // exist before any VM context loads the program).
+    program_ = std::make_unique<vm::Program>();
+    natives_ = std::make_unique<vm::NativeRegistry>();
+    framework_ = std::make_unique<apps::Framework>(
+        *program_, *natives_, options_.framework);
+    switch (options_.app) {
+      case AppKind::Thumbnail:
+        app_ = std::make_unique<apps::ThumbnailApp>(*framework_);
+        break;
+      case AppKind::Pybbs:
+        app_ = std::make_unique<apps::PybbsApp>(*framework_);
+        break;
+      case AppKind::Blog:
+        app_ = std::make_unique<apps::BlogApp>(*framework_);
+        break;
+    }
+
+    // Database machine + proxy (Section 5.1: m4.10xlarge so the DB
+    // never bottlenecks any scaling solution).
+    store_ = std::make_unique<db::RecordStore>();
+    app_->seedDatabase(*store_);
+    db_machine_ = std::make_unique<cloud::Instance>(
+        *sim_, *net_, cloud::m410XLarge(), "db-1", "db");
+    proxy_ = std::make_unique<proxy::ConnectionProxy>(*store_);
+
+    // The always-on server.
+    core::BeeHiveConfig cfg = options_.beehive;
+    framework_->applyVmDefaults(cfg);
+    cfg.server_vm.instr_cost_ns = options_.vanilla
+                                      ? vm_cal.vanilla_instr_ns
+                                      : vm_cal.beehive_instr_ns;
+    server_machine_ = std::make_unique<cloud::Instance>(
+        *sim_, *net_, cloud::m4XLarge(), "server-1", "vpc");
+    server_ = std::make_unique<core::BeeHiveServer>(
+        *sim_, *net_, *program_, *natives_, *proxy_,
+        db_machine_->endpoint(), *server_machine_, cfg);
+    framework_->installOnServer(*server_, *proxy_);
+    app_->installOnServer(*server_);
+    server_->profiler().addCandidateAnnotation("RequestMapping");
+
+    if (!options_.vanilla) {
+        cloud::FaasProfile profile;
+        if (options_.faas == FaasFlavor::OpenWhisk) {
+            profile = cloud::openWhiskProfile();
+            if (options_.cross_az)
+                profile.zone = "faas-az2";
+        } else {
+            profile = cloud::lambdaProfile(
+                app_->lambdaType().memory_gb);
+            profile.instance_type = app_->lambdaType();
+        }
+        platform_ = std::make_unique<cloud::FaasPlatform>(
+            *sim_, *net_, profile);
+        manager_ = std::make_unique<core::OffloadManager>(
+            *server_, *platform_);
+    }
+}
+
+Testbed::~Testbed() = default;
+
+workload::RequestSink
+Testbed::sink()
+{
+    return sinkTo(*server_);
+}
+
+workload::RequestSink
+Testbed::sinkTo(core::BeeHiveServer &server)
+{
+    vm::MethodId entry = app_->entry();
+    return [&server, entry](int64_t id, std::function<void()> done) {
+        server.handleLocal(entry, {vm::Value::ofInt(id)},
+                           [done = std::move(done)](vm::Value) {
+                               done();
+                           });
+    };
+}
+
+bool
+Testbed::runProfilingPhase()
+{
+    server_->setProfiling(true);
+    workload::Recorder recorder;
+    workload::ClosedLoopClients clients(*sim_, sink(), recorder);
+    clients.start(2, sim_->now());
+    // Drive the simulation until enough requests completed.
+    sim::SimTime guard = sim_->now() + sim::SimTime::sec(600);
+    while (recorder.completed() <
+               static_cast<uint64_t>(options_.profiling_requests) &&
+           sim_->now() < guard) {
+        sim_->runUntil(sim_->now() + sim::SimTime::msec(250));
+    }
+    clients.stopAll();
+    sim_->runUntil(sim_->now() + sim::SimTime::sec(2));
+
+    // Root selection: accumulated time large, average time not
+    // short (Section 4.3's two heuristics).
+    auto roots = server_->profiler().selectRoots(
+        /*min_total_ns=*/5e6, /*min_avg_ns=*/1e6);
+    bool selected = false;
+    for (vm::MethodId root : roots) {
+        if (root == app_->handler())
+            selected = true;
+    }
+    if (selected && manager_) {
+        manager_->enableRoot(app_->handler(),
+                             {vm::Value::ofInt(0)});
+    }
+    return selected;
+}
+
+core::BeeHiveServer &
+Testbed::addBaselineServer(cloud::Instance &machine)
+{
+    core::BeeHiveConfig cfg = options_.beehive;
+    framework_->applyVmDefaults(cfg);
+    VmCalibration vm_cal;
+    cfg.server_vm.instr_cost_ns = vm_cal.vanilla_instr_ns;
+    auto server = std::make_unique<core::BeeHiveServer>(
+        *sim_, *net_, *program_, *natives_, *proxy_,
+        db_machine_->endpoint(), machine, cfg);
+    framework_->installOnServer(*server, *proxy_);
+    app_->installOnServer(*server);
+    extra_servers_.push_back(std::move(server));
+    return *extra_servers_.back();
+}
+
+} // namespace beehive::harness

@@ -1,0 +1,105 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace beehive::net {
+
+Network::Network(uint64_t jitter_seed) : rng_(jitter_seed)
+{
+}
+
+EndpointId
+Network::addNode(const std::string &name, const std::string &zone)
+{
+    nodes_.push_back(Node{name, zone});
+    return static_cast<EndpointId>(nodes_.size() - 1);
+}
+
+const std::string &
+Network::nodeName(EndpointId id) const
+{
+    bh_assert(id < nodes_.size(), "bad endpoint id");
+    return nodes_[id].name;
+}
+
+const std::string &
+Network::nodeZone(EndpointId id) const
+{
+    bh_assert(id < nodes_.size(), "bad endpoint id");
+    return nodes_[id].zone;
+}
+
+std::pair<std::string, std::string>
+Network::zoneKey(const std::string &a, const std::string &b)
+{
+    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void
+Network::setZoneLatency(const std::string &zone_a,
+                        const std::string &zone_b, sim::SimTime one_way)
+{
+    zone_latency_[zoneKey(zone_a, zone_b)] = one_way;
+}
+
+void
+Network::setDefaultLatency(sim::SimTime one_way)
+{
+    default_latency_ = one_way;
+}
+
+void
+Network::setBandwidth(double bytes_per_sec)
+{
+    bh_assert(bytes_per_sec > 0.0, "bandwidth must be positive");
+    bytes_per_sec_ = bytes_per_sec;
+}
+
+void
+Network::setJitter(double fraction)
+{
+    bh_assert(fraction >= 0.0, "jitter must be non-negative");
+    jitter_ = fraction;
+}
+
+sim::SimTime
+Network::baseLatency(EndpointId from, EndpointId to) const
+{
+    bh_assert(from < nodes_.size() && to < nodes_.size(),
+              "bad endpoint id");
+    if (from == to)
+        return sim::SimTime();
+    auto it = zone_latency_.find(
+        zoneKey(nodes_[from].zone, nodes_[to].zone));
+    if (it != zone_latency_.end())
+        return it->second;
+    return default_latency_;
+}
+
+sim::SimTime
+Network::oneWay(EndpointId from, EndpointId to, uint64_t bytes)
+{
+    if (from == to)
+        return sim::SimTime();
+    double base_ns = static_cast<double>(baseLatency(from, to).ns());
+    double xfer_ns = static_cast<double>(bytes) / bytes_per_sec_ * 1e9;
+    double total = base_ns + xfer_ns;
+    if (jitter_ > 0.0) {
+        // Multiplicative jitter, never below 50% of nominal.
+        double f = 1.0 + jitter_ * rng_.normal(0.0, 1.0);
+        total *= std::max(0.5, f);
+    }
+    return sim::SimTime::nsec(static_cast<int64_t>(total));
+}
+
+sim::SimTime
+Network::roundTrip(EndpointId from, EndpointId to, uint64_t req_bytes,
+                   uint64_t resp_bytes)
+{
+    return oneWay(from, to, req_bytes) + oneWay(to, from, resp_bytes);
+}
+
+} // namespace beehive::net

@@ -1,0 +1,119 @@
+#include "proxy/connection_proxy.h"
+
+#include "support/logging.h"
+
+namespace beehive::proxy {
+
+ConnId
+ConnectionProxy::openConnection(net::EndpointId server)
+{
+    ConnId id = next_conn_++;
+    conns_[id] = Conn{server, true};
+    return id;
+}
+
+void
+ConnectionProxy::closeConnection(ConnId conn)
+{
+    auto it = conns_.find(conn);
+    if (it == conns_.end())
+        return;
+    it->second.open = false;
+    // Invalidate any offload IDs that route through this connection.
+    for (auto oit = offloads_.begin(); oit != offloads_.end();) {
+        if (oit->second.conn == conn)
+            oit = offloads_.erase(oit);
+        else
+            ++oit;
+    }
+}
+
+bool
+ConnectionProxy::isOpen(ConnId conn) const
+{
+    auto it = conns_.find(conn);
+    return it != conns_.end() && it->second.open;
+}
+
+OffloadId
+ConnectionProxy::prepare(ConnId conn)
+{
+    bh_assert(isOpen(conn), "prepare on closed connection");
+    OffloadId id = next_offload_++;
+    offloads_[id] =
+        Descriptor{conn, conns_[conn].server, net::kNoEndpoint};
+    ++stats_.prepares;
+    return id;
+}
+
+bool
+ConnectionProxy::attach(OffloadId id, net::EndpointId faas)
+{
+    auto it = offloads_.find(id);
+    if (it == offloads_.end())
+        return false;
+    it->second.faas = faas;
+    ++stats_.attaches;
+    return true;
+}
+
+const ConnectionProxy::Descriptor *
+ConnectionProxy::descriptor(OffloadId id) const
+{
+    auto it = offloads_.find(id);
+    return it == offloads_.end() ? nullptr : &it->second;
+}
+
+ShadowToken
+ConnectionProxy::shadowBegin(net::EndpointId faas)
+{
+    (void)faas;
+    ShadowToken token = next_shadow_++;
+    shadows_.emplace(token, ShadowSession{});
+    ++stats_.shadow_sessions;
+    return token;
+}
+
+void
+ConnectionProxy::shadowEnd(ShadowToken token)
+{
+    auto it = shadows_.find(token);
+    if (it == shadows_.end())
+        return;
+    stats_.shadow_writes += it->second.interceptedWrites();
+    shadows_.erase(it);
+}
+
+bool
+ConnectionProxy::shadowActive(ShadowToken token) const
+{
+    return shadows_.count(token) > 0;
+}
+
+db::Response
+ConnectionProxy::request(ConnId conn, const db::Request &req)
+{
+    bh_assert(isOpen(conn), "request on closed connection");
+    ++stats_.requests_routed;
+    return store_.execute(req);
+}
+
+db::Response
+ConnectionProxy::requestViaOffload(OffloadId id, const db::Request &req,
+                                   std::optional<ShadowToken> shadow)
+{
+    auto it = offloads_.find(id);
+    bh_assert(it != offloads_.end(), "request via unknown offload id");
+    bh_assert(it->second.faas != net::kNoEndpoint,
+              "offload id was never attached");
+    ++stats_.requests_routed;
+    ++stats_.offload_requests;
+    if (shadow) {
+        auto sit = shadows_.find(*shadow);
+        if (sit != shadows_.end())
+            return sit->second.apply(store_, req);
+    }
+    return store_.execute(req);
+}
+
+} // namespace beehive::proxy

@@ -1,0 +1,109 @@
+#include "proxy/shadow_session.h"
+
+#include <algorithm>
+
+namespace beehive::proxy {
+
+db::Response
+ShadowSession::apply(const db::RecordStore &store, const db::Request &req)
+{
+    db::Response resp;
+    Key key{req.table, req.key};
+
+    switch (req.kind) {
+      case db::OpKind::Put: {
+        db::Row row = req.row;
+        row.id = req.key;
+        overlay_[key] = std::move(row);
+        deleted_.erase(key);
+        ++writes_;
+        resp.count = 1;
+        resp.ok = true;
+        break;
+      }
+      case db::OpKind::Delete: {
+        bool existed = overlay_.erase(key) > 0;
+        // Also hide any store row with this key.
+        db::Request probe = req;
+        probe.kind = db::OpKind::Get;
+        existed = existed || store.read(probe).ok;
+        deleted_.insert(key);
+        ++writes_;
+        resp.count = existed ? 1 : 0;
+        resp.ok = true;
+        break;
+      }
+      case db::OpKind::Get: {
+        if (deleted_.count(key))
+            return resp;
+        auto it = overlay_.find(key);
+        if (it != overlay_.end()) {
+            resp.rows.push_back(it->second);
+            resp.ok = true;
+            return resp;
+        }
+        return store.read(req);
+      }
+      case db::OpKind::Scan: {
+        // Merge store results with overlay rows for the table,
+        // hiding deletions. Overlay rows with ids also present in
+        // the store replace them.
+        db::Request wide = req;
+        wide.offset = 0;
+        wide.limit = req.offset + req.limit +
+            static_cast<int64_t>(overlay_.size() + deleted_.size());
+        db::Response base = store.read(wide);
+        std::map<int64_t, db::Row> merged;
+        for (auto &row : base.rows)
+            merged[row.id] = std::move(row);
+        for (const auto &[k, row] : overlay_) {
+            if (k.first == req.table)
+                merged[k.second] = row;
+        }
+        for (const auto &k : deleted_) {
+            if (k.first == req.table)
+                merged.erase(k.second);
+        }
+        auto it = merged.begin();
+        std::advance(it, std::min<std::size_t>(
+            static_cast<std::size_t>(std::max<int64_t>(req.offset, 0)),
+            merged.size()));
+        for (int64_t n = 0; it != merged.end() && n < req.limit;
+             ++it, ++n) {
+            resp.rows.push_back(it->second);
+        }
+        resp.ok = true;
+        break;
+      }
+      case db::OpKind::Count: {
+        db::Response base = store.read(req);
+        int64_t count = base.count;
+        for (const auto &[k, row] : overlay_) {
+            if (k.first != req.table)
+                continue;
+            db::Request probe;
+            probe.kind = db::OpKind::Get;
+            probe.table = req.table;
+            probe.key = k.second;
+            if (!store.read(probe).ok)
+                ++count;
+        }
+        for (const auto &k : deleted_) {
+            if (k.first != req.table)
+                continue;
+            db::Request probe;
+            probe.kind = db::OpKind::Get;
+            probe.table = req.table;
+            probe.key = k.second;
+            if (store.read(probe).ok)
+                --count;
+        }
+        resp.count = count;
+        resp.ok = true;
+        break;
+      }
+    }
+    return resp;
+}
+
+} // namespace beehive::proxy

@@ -1,0 +1,66 @@
+#include "sim/event_queue.h"
+
+#include "support/logging.h"
+
+namespace beehive::sim {
+
+EventId
+EventQueue::schedule(SimTime when, Callback cb)
+{
+    EventId id = next_id_++;
+    heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= next_id_)
+        return false;
+    // Lazy deletion: remember the id and drop the entry when popped.
+    return cancelled_.insert(id).second;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap_.empty()) {
+        auto it = cancelled_.find(heap_.top().id);
+        if (it == cancelled_.end())
+            return;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    const_cast<EventQueue *>(this)->skipCancelled();
+    return heap_.empty();
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    const_cast<EventQueue *>(this)->skipCancelled();
+    if (heap_.empty())
+        return SimTime::max();
+    return heap_.top().when;
+}
+
+SimTime
+EventQueue::runOne()
+{
+    skipCancelled();
+    bh_assert(!heap_.empty(), "runOne on empty event queue");
+    // Move the callback out before popping so that the callback may
+    // itself schedule new events without invalidating the entry.
+    Entry entry = heap_.top();
+    heap_.pop();
+    ++dispatched_;
+    entry.cb();
+    return entry.when;
+}
+
+} // namespace beehive::sim

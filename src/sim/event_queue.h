@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are closures scheduled at absolute simulated times. Ties are
+ * broken by insertion order so execution is deterministic. Events may
+ * be cancelled through the EventId returned at scheduling time.
+ */
+
+#ifndef BEEHIVE_SIM_EVENT_QUEUE_H
+#define BEEHIVE_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace beehive::sim {
+
+/** Opaque handle identifying a scheduled event. */
+using EventId = uint64_t;
+
+/** Time-ordered queue of pending simulation events. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @return A handle usable with cancel().
+     */
+    EventId schedule(SimTime when, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * Cancelling an already-fired or already-cancelled event is a
+     * harmless no-op.
+     *
+     * @retval true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** True if no runnable events remain. */
+    bool empty() const;
+
+    /** Time of the earliest pending event; max() when empty. */
+    SimTime nextTime() const;
+
+    /**
+     * Pop and run the earliest event.
+     *
+     * @return The time at which the event fired.
+     */
+    SimTime runOne();
+
+    /** Number of events dispatched so far (for stats/tests). */
+    uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        uint64_t seq;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    void skipCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<EventId> cancelled_;
+    uint64_t next_seq_ = 0;
+    uint64_t next_id_ = 1;
+    uint64_t dispatched_ = 0;
+};
+
+} // namespace beehive::sim
+
+#endif // BEEHIVE_SIM_EVENT_QUEUE_H

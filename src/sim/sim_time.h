@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Simulated time representation.
+ *
+ * SimTime counts nanoseconds of simulated time as a signed 64-bit
+ * integer, which covers roughly 292 years -- far beyond any
+ * experiment in this repository. A strong type (rather than a bare
+ * int64_t) keeps durations and instants from mixing with ordinary
+ * integers by accident.
+ */
+
+#ifndef BEEHIVE_SIM_SIM_TIME_H
+#define BEEHIVE_SIM_SIM_TIME_H
+
+#include <compare>
+#include <cstdint>
+
+namespace beehive::sim {
+
+/** A simulated time instant or duration, in nanoseconds. */
+class SimTime
+{
+  public:
+    constexpr SimTime() : ns_(0) {}
+
+    /** Named constructors for common units. */
+    static constexpr SimTime nsec(int64_t v) { return SimTime(v); }
+    static constexpr SimTime usec(int64_t v) { return SimTime(v * 1000); }
+    static constexpr SimTime msec(int64_t v)
+    {
+        return SimTime(v * 1000000);
+    }
+    static constexpr SimTime sec(int64_t v)
+    {
+        return SimTime(v * 1000000000);
+    }
+    /** From fractional seconds / milliseconds / microseconds. */
+    static constexpr SimTime seconds(double v)
+    {
+        return SimTime(static_cast<int64_t>(v * 1e9));
+    }
+    static constexpr SimTime millis(double v)
+    {
+        return SimTime(static_cast<int64_t>(v * 1e6));
+    }
+    static constexpr SimTime micros(double v)
+    {
+        return SimTime(static_cast<int64_t>(v * 1e3));
+    }
+    /** The largest representable time (used as "never"). */
+    static constexpr SimTime max()
+    {
+        return SimTime(INT64_MAX);
+    }
+
+    constexpr int64_t ns() const { return ns_; }
+    constexpr double toSeconds() const { return ns_ / 1e9; }
+    constexpr double toMillis() const { return ns_ / 1e6; }
+    constexpr double toMicros() const { return ns_ / 1e3; }
+
+    constexpr auto operator<=>(const SimTime &) const = default;
+
+    constexpr SimTime operator+(SimTime o) const
+    {
+        return SimTime(ns_ + o.ns_);
+    }
+    constexpr SimTime operator-(SimTime o) const
+    {
+        return SimTime(ns_ - o.ns_);
+    }
+    constexpr SimTime &operator+=(SimTime o)
+    {
+        ns_ += o.ns_;
+        return *this;
+    }
+    constexpr SimTime &operator-=(SimTime o)
+    {
+        ns_ -= o.ns_;
+        return *this;
+    }
+    constexpr SimTime operator*(double f) const
+    {
+        return SimTime(static_cast<int64_t>(ns_ * f));
+    }
+
+  private:
+    constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+    int64_t ns_;
+};
+
+} // namespace beehive::sim
+
+#endif // BEEHIVE_SIM_SIM_TIME_H

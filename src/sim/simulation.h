@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simulation driver: owns the event queue and the virtual clock.
+ */
+
+#ifndef BEEHIVE_SIM_SIMULATION_H
+#define BEEHIVE_SIM_SIMULATION_H
+
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
+#include "support/rng.h"
+
+namespace beehive::sim {
+
+/**
+ * A single simulation run.
+ *
+ * All model components keep a reference to the Simulation and use it
+ * to read the clock, schedule future work, and draw random numbers.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(uint64_t seed = 1) : rng_(seed) {}
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule @p cb at absolute time @p when (must be >= now). */
+    EventId at(SimTime when, EventQueue::Callback cb);
+
+    /** Schedule @p cb after the given delay. */
+    EventId after(SimTime delay, EventQueue::Callback cb);
+
+    /** Cancel a pending event. */
+    bool cancel(EventId id) { return queue_.cancel(id); }
+
+    /**
+     * Run events until the queue drains or the clock passes @p limit.
+     *
+     * The clock is left at min(limit, time of last event). Events
+     * scheduled exactly at @p limit still run.
+     */
+    void runUntil(SimTime limit);
+
+    /** Run until the event queue is empty. */
+    void runAll();
+
+    /** Root RNG for this run; fork() per-entity streams from it. */
+    Rng &rng() { return rng_; }
+
+    /** Direct queue access (tests and advanced components). */
+    EventQueue &queue() { return queue_; }
+
+  private:
+    EventQueue queue_;
+    SimTime now_;
+    Rng rng_;
+};
+
+} // namespace beehive::sim
+
+#endif // BEEHIVE_SIM_SIMULATION_H

@@ -1,0 +1,118 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace beehive::sim {
+
+void
+SampleSet::add(double v)
+{
+    samples_.push_back(v);
+    sum_ += v;
+    sorted_valid_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (samples_.empty())
+        return NAN;
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::min() const
+{
+    if (samples_.empty())
+        return NAN;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSet::max() const
+{
+    if (samples_.empty())
+        return NAN;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (sorted_valid_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    if (samples_.empty())
+        return NAN;
+    bh_assert(p >= 0.0 && p <= 100.0, "percentile out of range");
+    ensureSorted();
+    // Nearest-rank method.
+    double rank = p / 100.0 * static_cast<double>(sorted_.size());
+    std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+    if (idx > 0)
+        --idx;
+    if (idx >= sorted_.size())
+        idx = sorted_.size() - 1;
+    return sorted_[idx];
+}
+
+void
+SampleSet::clear()
+{
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+    sum_ = 0.0;
+}
+
+void
+TimeSeries::add(SimTime when, double value)
+{
+    bh_assert(when >= SimTime(), "negative timestamp");
+    std::size_t idx = static_cast<std::size_t>(when.ns() / bucket_.ns());
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1);
+    buckets_[idx].add(value);
+}
+
+SimTime
+TimeSeries::bucketStart(std::size_t i) const
+{
+    return SimTime::nsec(static_cast<int64_t>(i) * bucket_.ns());
+}
+
+double
+TimeSeries::bucketPercentile(std::size_t i, double p) const
+{
+    if (i >= buckets_.size() || buckets_[i].empty())
+        return NAN;
+    return buckets_[i].percentile(p);
+}
+
+double
+TimeSeries::bucketMean(std::size_t i) const
+{
+    if (i >= buckets_.size() || buckets_[i].empty())
+        return NAN;
+    return buckets_[i].mean();
+}
+
+std::size_t
+TimeSeries::bucketCount(std::size_t i) const
+{
+    if (i >= buckets_.size())
+        return 0;
+    return buckets_[i].count();
+}
+
+} // namespace beehive::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Measurement primitives used by experiments and benches.
+ *
+ * SampleSet stores raw samples and answers percentile queries (the
+ * evaluation reports p99 latencies throughout). TimeSeries buckets
+ * samples by simulated time so Figure 7's per-second tail-latency
+ * curves can be regenerated directly.
+ */
+
+#ifndef BEEHIVE_SIM_STATS_H
+#define BEEHIVE_SIM_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace beehive::sim {
+
+/** A bag of double samples with percentile/mean queries. */
+class SampleSet
+{
+  public:
+    /** Record one sample. */
+    void add(double v);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double mean() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+    /**
+     * Percentile by nearest-rank on the sorted samples.
+     *
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Median shorthand. */
+    double median() const { return percentile(50.0); }
+
+    /** Drop all samples. */
+    void clear();
+
+    /** Raw access (property tests). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+    double sum_ = 0.0;
+};
+
+/** Samples bucketed by simulated time (fixed-width windows). */
+class TimeSeries
+{
+  public:
+    /** @param bucket Width of each time bucket. */
+    explicit TimeSeries(SimTime bucket = SimTime::sec(1))
+        : bucket_(bucket)
+    {}
+
+    /** Record @p value at time @p when. */
+    void add(SimTime when, double value);
+
+    /** Number of buckets spanned so far. */
+    std::size_t buckets() const { return buckets_.size(); }
+
+    /** Start time of bucket @p i. */
+    SimTime bucketStart(std::size_t i) const;
+
+    /** Percentile within bucket @p i (NaN when the bucket is empty). */
+    double bucketPercentile(std::size_t i, double p) const;
+
+    /** Mean within bucket @p i (NaN when empty). */
+    double bucketMean(std::size_t i) const;
+
+    /** Sample count within bucket @p i. */
+    std::size_t bucketCount(std::size_t i) const;
+
+  private:
+    SimTime bucket_;
+    std::vector<SampleSet> buckets_;
+};
+
+/** Simple monotonically increasing counter. */
+class Counter
+{
+  public:
+    void inc(uint64_t by = 1) { value_ += by; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+} // namespace beehive::sim
+
+#endif // BEEHIVE_SIM_STATS_H

@@ -1,0 +1,104 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace beehive {
+
+namespace {
+
+/** SplitMix64 step used to expand the seed into generator state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(next() % range);
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace beehive

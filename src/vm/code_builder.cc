@@ -1,0 +1,117 @@
+#include "vm/code_builder.h"
+
+#include "support/logging.h"
+
+namespace beehive::vm {
+
+CodeBuilder::CodeBuilder(Program &program, KlassId owner,
+                         std::string name, uint16_t num_args)
+    : program_(program), owner_(owner), name_(std::move(name)),
+      num_args_(num_args), num_locals_(num_args)
+{
+}
+
+CodeBuilder &
+CodeBuilder::emit(Op op, int64_t a, int64_t b)
+{
+    bh_assert(!built_, "emit after build()");
+    code_.push_back(Instr{op, a, b});
+    return *this;
+}
+
+CodeBuilder::Label
+CodeBuilder::newLabel()
+{
+    label_pos_.push_back(-1);
+    return label_pos_.size() - 1;
+}
+
+CodeBuilder &
+CodeBuilder::bind(Label l)
+{
+    bh_assert(l < label_pos_.size(), "unknown label");
+    bh_assert(label_pos_[l] < 0, "label bound twice");
+    label_pos_[l] = static_cast<int64_t>(code_.size());
+    return *this;
+}
+
+CodeBuilder &
+CodeBuilder::emitJump(Op op, Label l)
+{
+    bh_assert(l < label_pos_.size(), "unknown label");
+    patches_.emplace_back(code_.size(), l);
+    return emit(op, -1);
+}
+
+CodeBuilder &
+CodeBuilder::pushF(double v)
+{
+    int64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    return emit(Op::PushF, bits);
+}
+
+CodeBuilder &
+CodeBuilder::pushStr(const std::string &s)
+{
+    return emit(Op::NewBytes, program_.internString(s));
+}
+
+CodeBuilder &
+CodeBuilder::call(const std::string &qualified)
+{
+    MethodId id = program_.findMethod(qualified);
+    bh_assert(id != kNoMethod, "unknown method %s", qualified.c_str());
+    return emit(Op::Call, id);
+}
+
+CodeBuilder &
+CodeBuilder::callSelf()
+{
+    self_patches_.push_back(code_.size());
+    return emit(Op::Call, -1);
+}
+
+CodeBuilder &
+CodeBuilder::callVirt(const std::string &name, uint16_t nargs)
+{
+    return emit(Op::CallVirt, program_.internName(name), nargs);
+}
+
+CodeBuilder &
+CodeBuilder::annotate(const std::string &name)
+{
+    annotations_.push_back(Annotation{name});
+    return *this;
+}
+
+CodeBuilder &
+CodeBuilder::locals(uint16_t extra)
+{
+    num_locals_ = static_cast<uint16_t>(num_args_ + extra);
+    return *this;
+}
+
+MethodId
+CodeBuilder::build()
+{
+    bh_assert(!built_, "build() twice");
+    built_ = true;
+    for (auto &[pos, label] : patches_) {
+        bh_assert(label_pos_[label] >= 0, "unbound label in %s",
+                  name_.c_str());
+        code_[pos].a = label_pos_[label];
+    }
+    Method m;
+    m.name = name_;
+    m.num_args = num_args_;
+    m.num_locals = num_locals_;
+    m.code = std::move(code_);
+    m.annotations = std::move(annotations_);
+    MethodId id = program_.addMethod(owner_, m);
+    for (std::size_t pos : self_patches_)
+        program_.method(id).code[pos].a = id;
+    return id;
+}
+
+} // namespace beehive::vm

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Fluent bytecode assembler.
+ *
+ * CodeBuilder is how the mini web framework and the applications
+ * author HiveVM methods. It supports forward-referencing labels and
+ * resolves them at build() time.
+ *
+ * Example:
+ * @code
+ *   CodeBuilder b(program, klass, "sum", 1);
+ *   auto loop = b.newLabel(), done = b.newLabel();
+ *   b.pushI(0).store(1)           // acc = 0
+ *    .bind(loop)
+ *    .load(0).pushI(0).cmpLe().jnz(done)
+ *    .load(1).load(0).add().store(1)
+ *    .load(0).pushI(1).sub().store(0)
+ *    .jmp(loop)
+ *    .bind(done)
+ *    .load(1).ret();
+ *   MethodId m = b.build();
+ * @endcode
+ */
+
+#ifndef BEEHIVE_VM_CODE_BUILDER_H
+#define BEEHIVE_VM_CODE_BUILDER_H
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "vm/program.h"
+
+namespace beehive::vm {
+
+/** Assembles one method's bytecode. */
+class CodeBuilder
+{
+  public:
+    /** Forward-referencable jump target. */
+    using Label = std::size_t;
+
+    /**
+     * @param program Target program.
+     * @param owner Owning klass.
+     * @param name Method name (unqualified).
+     * @param num_args Argument count (locals [0, num_args)).
+     */
+    CodeBuilder(Program &program, KlassId owner, std::string name,
+                uint16_t num_args);
+
+    /** @name Labels */
+    /// @{
+    Label newLabel();
+    CodeBuilder &bind(Label l);
+    /// @}
+
+    /** @name Stack/locals */
+    /// @{
+    CodeBuilder &pushI(int64_t v) { return emit(Op::PushI, v); }
+    CodeBuilder &pushF(double v);
+    CodeBuilder &pushNil() { return emit(Op::PushNil); }
+    CodeBuilder &load(int64_t slot) { return emit(Op::Load, slot); }
+    CodeBuilder &store(int64_t slot) { return emit(Op::Store, slot); }
+    CodeBuilder &dup() { return emit(Op::Dup); }
+    CodeBuilder &popv() { return emit(Op::Pop); }
+    CodeBuilder &swap() { return emit(Op::Swap); }
+    /// @}
+
+    /** @name Arithmetic and logic */
+    /// @{
+    CodeBuilder &add() { return emit(Op::Add); }
+    CodeBuilder &sub() { return emit(Op::Sub); }
+    CodeBuilder &mul() { return emit(Op::Mul); }
+    CodeBuilder &div() { return emit(Op::Div); }
+    CodeBuilder &mod() { return emit(Op::Mod); }
+    CodeBuilder &neg() { return emit(Op::Neg); }
+    CodeBuilder &cmpEq() { return emit(Op::CmpEq); }
+    CodeBuilder &cmpNe() { return emit(Op::CmpNe); }
+    CodeBuilder &cmpLt() { return emit(Op::CmpLt); }
+    CodeBuilder &cmpLe() { return emit(Op::CmpLe); }
+    CodeBuilder &cmpGt() { return emit(Op::CmpGt); }
+    CodeBuilder &cmpGe() { return emit(Op::CmpGe); }
+    CodeBuilder &logAnd() { return emit(Op::And); }
+    CodeBuilder &logOr() { return emit(Op::Or); }
+    CodeBuilder &logNot() { return emit(Op::Not); }
+    /// @}
+
+    /** @name Control flow */
+    /// @{
+    CodeBuilder &jmp(Label l) { return emitJump(Op::Jmp, l); }
+    CodeBuilder &jz(Label l) { return emitJump(Op::Jz, l); }
+    CodeBuilder &jnz(Label l) { return emitJump(Op::Jnz, l); }
+    /// @}
+
+    /** @name Objects */
+    /// @{
+    CodeBuilder &newObj(KlassId k) { return emit(Op::New, k); }
+    CodeBuilder &getField(int64_t idx) { return emit(Op::GetField, idx); }
+    CodeBuilder &putField(int64_t idx) { return emit(Op::PutField, idx); }
+    /** Volatile accessors: JMM acquire/release data sync. */
+    CodeBuilder &getVolatile(int64_t idx)
+    {
+        return emit(Op::GetVolatile, idx);
+    }
+    CodeBuilder &putVolatile(int64_t idx)
+    {
+        return emit(Op::PutVolatile, idx);
+    }
+    CodeBuilder &newArr(KlassId k) { return emit(Op::NewArr, k); }
+    CodeBuilder &aload() { return emit(Op::ALoad); }
+    CodeBuilder &astore() { return emit(Op::AStore); }
+    CodeBuilder &arrLen() { return emit(Op::ArrLen); }
+    /** Push a byte object holding the given literal. */
+    CodeBuilder &pushStr(const std::string &s);
+    CodeBuilder &bytesLen() { return emit(Op::BytesLen); }
+    CodeBuilder &getStatic(KlassId k, int64_t slot)
+    {
+        return emit(Op::GetStatic, k, slot);
+    }
+    CodeBuilder &putStatic(KlassId k, int64_t slot)
+    {
+        return emit(Op::PutStatic, k, slot);
+    }
+    /// @}
+
+    /** @name Calls */
+    /// @{
+    CodeBuilder &call(MethodId m) { return emit(Op::Call, m); }
+    /** Call "Klass.method" by qualified name (must already exist). */
+    CodeBuilder &call(const std::string &qualified);
+    /** Recursive call to the method being built (id patched at build). */
+    CodeBuilder &callSelf();
+    /** Virtual dispatch on the receiver under @p nargs - 1 args. */
+    CodeBuilder &callVirt(const std::string &name, uint16_t nargs);
+    CodeBuilder &ret() { return emit(Op::Ret); }
+    /// @}
+
+    /** @name Synchronization and compute */
+    /// @{
+    CodeBuilder &monitorEnter() { return emit(Op::MonitorEnter); }
+    CodeBuilder &monitorExit() { return emit(Op::MonitorExit); }
+    /** Model @p ns nanoseconds of application computation. */
+    CodeBuilder &compute(int64_t ns) { return emit(Op::Compute, ns); }
+    /// @}
+
+    /** Attach an annotation to the method being built. */
+    CodeBuilder &annotate(const std::string &name);
+
+    /** Reserve extra local slots beyond the arguments. */
+    CodeBuilder &locals(uint16_t extra);
+
+    /** Finish: resolve labels, register the method, return its id. */
+    MethodId build();
+
+    /** Current instruction count (testing). */
+    std::size_t size() const { return code_.size(); }
+
+  private:
+    CodeBuilder &emit(Op op, int64_t a = 0, int64_t b = 0);
+    CodeBuilder &emitJump(Op op, Label l);
+
+    Program &program_;
+    KlassId owner_;
+    std::string name_;
+    uint16_t num_args_;
+    uint16_t num_locals_;
+    std::vector<Instr> code_;
+    std::vector<int64_t> label_pos_;        //!< -1 = unbound
+    std::vector<std::pair<std::size_t, Label>> patches_;
+    std::vector<std::size_t> self_patches_;
+    std::vector<Annotation> annotations_;
+    bool built_ = false;
+};
+
+} // namespace beehive::vm
+
+#endif // BEEHIVE_VM_CODE_BUILDER_H

@@ -1,0 +1,343 @@
+#include "vm/heap.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace beehive::vm {
+
+namespace {
+
+constexpr uint32_t
+alignUp(uint32_t bytes)
+{
+    return (bytes + 7u) & ~7u;
+}
+
+} // namespace
+
+Space::Space(uint8_t id, std::size_t capacity)
+    : id_(id), mem_(capacity), top_(firstOffset())
+{
+    bh_assert(capacity > firstOffset(), "space too small");
+}
+
+uint64_t
+Space::alloc(uint32_t bytes)
+{
+    bytes = alignUp(bytes);
+    if (top_ + bytes > mem_.size())
+        return 0;
+    uint64_t offset = top_;
+    top_ += bytes;
+    return offset;
+}
+
+uint8_t *
+Space::at(uint64_t offset)
+{
+    bh_assert(offset >= firstOffset() && offset < mem_.size(),
+              "offset %llu out of space %u",
+              static_cast<unsigned long long>(offset), id_);
+    return mem_.data() + offset;
+}
+
+const uint8_t *
+Space::at(uint64_t offset) const
+{
+    bh_assert(offset >= firstOffset() && offset < mem_.size(),
+              "offset %llu out of space %u",
+              static_cast<unsigned long long>(offset), id_);
+    return mem_.data() + offset;
+}
+
+CardTable::CardTable(std::size_t space_capacity)
+    : dirty_((space_capacity + kCardBytes - 1) / kCardBytes, false)
+{
+}
+
+void
+CardTable::mark(uint64_t offset)
+{
+    std::size_t card = offset / kCardBytes;
+    bh_assert(card < dirty_.size(), "card out of range");
+    dirty_[card] = true;
+}
+
+bool
+CardTable::isDirty(std::size_t card) const
+{
+    bh_assert(card < dirty_.size(), "card out of range");
+    return dirty_[card];
+}
+
+std::size_t
+CardTable::dirtyCount() const
+{
+    return static_cast<std::size_t>(
+        std::count(dirty_.begin(), dirty_.end(), true));
+}
+
+std::pair<uint64_t, uint64_t>
+CardTable::cardRange(std::size_t card) const
+{
+    return {card * kCardBytes, (card + 1) * kCardBytes};
+}
+
+void
+CardTable::clearAll()
+{
+    std::fill(dirty_.begin(), dirty_.end(), false);
+}
+
+Heap::Heap(const Program &program, std::size_t closure_capacity,
+           std::size_t alloc_capacity)
+    : program_(program),
+      closure_(kClosureSpaceId, closure_capacity),
+      alloc_a_(kAllocAId, alloc_capacity),
+      alloc_b_(kAllocBId, alloc_capacity),
+      cards_(closure_capacity)
+{
+}
+
+Space &
+Heap::space(uint8_t id)
+{
+    switch (id) {
+      case kClosureSpaceId: return closure_;
+      case kAllocAId: return alloc_a_;
+      case kAllocBId: return alloc_b_;
+    }
+    panic("bad space id %u", id);
+}
+
+const Space &
+Heap::space(uint8_t id) const
+{
+    return const_cast<Heap *>(this)->space(id);
+}
+
+void
+Heap::flipAllocSpace()
+{
+    alloc_space_ = otherAllocSpaceId();
+}
+
+Ref
+Heap::rawAlloc(uint8_t space_id, uint32_t total_bytes)
+{
+    uint64_t offset = space(space_id).alloc(total_bytes);
+    if (offset == 0)
+        return kNullRef;
+    return makeRef(space_id, offset);
+}
+
+Ref
+Heap::allocObject(uint8_t space_id, KlassId klass, ObjKind kind,
+                  uint32_t count, uint32_t payload_bytes)
+{
+    uint32_t total =
+        alignUp(static_cast<uint32_t>(sizeof(ObjHeader)) + payload_bytes);
+    Ref ref = rawAlloc(space_id, total);
+    if (ref == kNullRef)
+        return kNullRef;
+    auto *hdr = new (space(space_id).at(refOffset(ref))) ObjHeader();
+    hdr->klass = klass;
+    hdr->kind = kind;
+    hdr->count = count;
+    hdr->size = total;
+    if (kind != ObjKind::Bytes) {
+        Value *s = slots(ref);
+        for (uint32_t i = 0; i < count; ++i)
+            s[i] = Value::nil();
+    }
+    ++stats_.objects_allocated;
+    stats_.bytes_allocated += total;
+    stats_.peak_used = std::max(stats_.peak_used, usedBytes());
+    return ref;
+}
+
+Ref
+Heap::allocPlain(KlassId klass, bool in_closure)
+{
+    uint32_t nfields = program_.fieldCount(klass);
+    return allocObject(in_closure ? kClosureSpaceId : alloc_space_,
+                       klass, ObjKind::Plain, nfields,
+                       nfields * sizeof(Value));
+}
+
+Ref
+Heap::allocArray(KlassId klass, uint32_t len, bool in_closure)
+{
+    return allocObject(in_closure ? kClosureSpaceId : alloc_space_,
+                       klass, ObjKind::Array, len, len * sizeof(Value));
+}
+
+Ref
+Heap::allocBytes(KlassId klass, std::string_view data, bool in_closure)
+{
+    Ref ref = allocObject(in_closure ? kClosureSpaceId : alloc_space_,
+                          klass, ObjKind::Bytes,
+                          static_cast<uint32_t>(data.size()),
+                          static_cast<uint32_t>(data.size()));
+    if (ref == kNullRef)
+        return kNullRef;
+    std::memcpy(space(refSpace(ref)).at(refOffset(ref)) +
+                    sizeof(ObjHeader),
+                data.data(), data.size());
+    return ref;
+}
+
+ObjHeader &
+Heap::header(Ref r)
+{
+    bh_assert(r != kNullRef, "null deref");
+    bh_assert(!isRemote(r), "header() on remote ref");
+    return *reinterpret_cast<ObjHeader *>(
+        space(refSpace(r)).at(refOffset(r)));
+}
+
+const ObjHeader &
+Heap::header(Ref r) const
+{
+    return const_cast<Heap *>(this)->header(r);
+}
+
+Value *
+Heap::slots(Ref r)
+{
+    return reinterpret_cast<Value *>(
+        space(refSpace(r)).at(refOffset(r)) + sizeof(ObjHeader));
+}
+
+const Value *
+Heap::slots(Ref r) const
+{
+    return const_cast<Heap *>(this)->slots(r);
+}
+
+Value
+Heap::field(Ref obj, uint32_t idx) const
+{
+    const ObjHeader &hdr = header(obj);
+    bh_assert(hdr.kind != ObjKind::Bytes, "field access on bytes");
+    bh_assert(idx < hdr.count, "field index %u out of %u in %s", idx,
+              hdr.count, program_.klass(hdr.klass).name.c_str());
+    return slots(obj)[idx];
+}
+
+void
+Heap::setFieldRaw(Ref obj, uint32_t idx, Value v)
+{
+    ObjHeader &hdr = header(obj);
+    bh_assert(hdr.kind != ObjKind::Bytes, "field store on bytes");
+    bh_assert(idx < hdr.count, "field index %u out of %u", idx,
+              hdr.count);
+    slots(obj)[idx] = v;
+    // Card marking: a closure-space object now (possibly) references
+    // an allocation-space object; the collector must treat this card
+    // as a root region.
+    if (refSpace(obj) == kClosureSpaceId && v.isRef() &&
+        v.asRef() != kNullRef && !isRemote(v.asRef()) &&
+        refSpace(v.asRef()) != kClosureSpaceId) {
+        cards_.mark(refOffset(obj));
+    }
+}
+
+void
+Heap::setField(Ref obj, uint32_t idx, Value v)
+{
+    setFieldRaw(obj, idx, v);
+    if (observer_)
+        observer_(obj);
+}
+
+Ref
+Heap::cloneObject(Ref src, uint8_t dst_space)
+{
+    return cloneFrom(*this, src, dst_space);
+}
+
+Ref
+Heap::cloneFrom(const Heap &src_heap, Ref src, uint8_t dst_space)
+{
+    const ObjHeader &hdr = src_heap.header(src);
+    Ref dst = rawAlloc(dst_space, hdr.size);
+    if (dst == kNullRef)
+        return kNullRef;
+    std::memcpy(space(dst_space).at(refOffset(dst)),
+                src_heap.space(refSpace(src)).at(refOffset(src)),
+                hdr.size);
+    header(dst).forward = kNullRef;
+    ++stats_.objects_allocated;
+    stats_.bytes_allocated += hdr.size;
+    stats_.peak_used = std::max(stats_.peak_used, usedBytes());
+    return dst;
+}
+
+std::string_view
+Heap::bytes(Ref r) const
+{
+    const ObjHeader &hdr = header(r);
+    bh_assert(hdr.kind == ObjKind::Bytes, "bytes() on non-bytes");
+    return std::string_view(
+        reinterpret_cast<const char *>(
+            space(refSpace(r)).at(refOffset(r)) + sizeof(ObjHeader)),
+        hdr.count);
+}
+
+uint32_t
+Heap::count(Ref r) const
+{
+    return header(r).count;
+}
+
+bool
+Heap::allocWouldFail(uint32_t slots_needed) const
+{
+    const Space &s = space(alloc_space_);
+    std::size_t need = sizeof(ObjHeader) + slots_needed * sizeof(Value);
+    return s.used() + need > s.capacity();
+}
+
+std::size_t
+Heap::usedBytes() const
+{
+    return closure_.used() + space(alloc_space_).used();
+}
+
+void
+Heap::forEachObject(uint8_t space_id,
+                    const std::function<void(Ref)> &fn)
+{
+    Space &s = space(space_id);
+    uint64_t offset = Space::firstOffset();
+    while (offset < s.used()) {
+        Ref ref = makeRef(space_id, offset);
+        const ObjHeader &hdr = header(ref);
+        bh_assert(hdr.size >= sizeof(ObjHeader), "corrupt heap walk");
+        fn(ref);
+        offset += hdr.size;
+    }
+}
+
+std::string
+Heap::describe(Ref r) const
+{
+    if (r == kNullRef)
+        return "null";
+    if (isRemote(r))
+        return strprintf("remote(%llx)",
+                         static_cast<unsigned long long>(stripRemote(r)));
+    const ObjHeader &hdr = header(r);
+    const char *kind = hdr.kind == ObjKind::Plain
+                           ? "obj"
+                           : hdr.kind == ObjKind::Array ? "arr" : "bytes";
+    return strprintf("%s %s#%u@%llx", kind,
+                     program_.klass(hdr.klass).name.c_str(), hdr.count,
+                     static_cast<unsigned long long>(r));
+}
+
+} // namespace beehive::vm

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The steppable bytecode interpreter.
+ *
+ * The interpreter keeps its call frames in an explicit stack and can
+ * suspend at any instruction boundary, returning a typed Suspend
+ * describing why:
+ *
+ *   - Quantum: the configured compute budget was consumed; the
+ *     endpoint driver charges the accumulated cost to the simulated
+ *     CPU and resumes, giving processor-sharing fidelity;
+ *   - ClassFault / ObjectFault: the paper's missing-code and
+ *     missing-data fallbacks (Section 3.1); the instruction is NOT
+ *     advanced, so resolving the fault and calling run() retries it;
+ *   - NativeFallback: a native call this endpoint may not run
+ *     locally (Section 3.2);
+ *   - MonitorAcquire: the monitor's last owner is another endpoint,
+ *     so a JMM-style synchronization is required (Section 4.2);
+ *   - External: a native requested an external operation (e.g. a
+ *     database round trip via the proxy); resume with
+ *     resumeExternal() once the driver has the result;
+ *   - Done: the root method returned.
+ *
+ * This explicit suspension design is also what makes stack
+ * snapshots for failure recovery (Section 4.5) straightforward:
+ * frames are plain data.
+ */
+
+#ifndef BEEHIVE_VM_INTERPRETER_H
+#define BEEHIVE_VM_INTERPRETER_H
+
+#include <any>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "vm/context.h"
+#include "vm/program.h"
+#include "vm/value.h"
+
+namespace beehive::vm {
+
+/** One activation record. Plain data: copyable for snapshots. */
+struct Frame
+{
+    MethodId method = kNoMethod;
+    uint32_t pc = 0;
+    double cost_multiplier = 1.0;
+    std::vector<Value> locals;
+    std::vector<Value> stack;
+};
+
+/** Why run() returned. */
+struct Suspend
+{
+    enum class Kind
+    {
+        Done,
+        Quantum,
+        ClassFault,
+        ObjectFault,
+        NativeFallback,
+        MonitorAcquire,
+        External,
+        HeapFull,   //!< allocation failed; the driver must run a GC
+        OffloadCall, //!< a call site redirected to FaaS (Semi-FaaS)
+        MonitorRelease, //!< monitor of a shared object released
+        VolatileSync,   //!< volatile access needs a JMM data sync
+    };
+
+    Kind kind = Kind::Done;
+    Value result;                 //!< Done: the return value.
+    KlassId klass = kNoKlass;     //!< ClassFault: the missing klass.
+    Ref remote_ref = kNullRef;    //!< ObjectFault: the remote address.
+    uint32_t native_id = 0;       //!< NativeFallback: which native.
+    Ref monitor_obj = kNullRef;   //!< Monitor*/VolatileSync object.
+    bool volatile_write = false;  //!< VolatileSync: release vs acquire.
+    std::any external;            //!< External: driver-defined payload.
+    MethodId offload_method = kNoMethod; //!< OffloadCall target.
+    std::vector<Value> offload_args;     //!< OffloadCall arguments.
+};
+
+/** Counters a single interpreter accumulates (fallback analysis). */
+struct InterpStats
+{
+    uint64_t instructions = 0;
+    uint64_t calls = 0;
+    uint64_t native_calls = 0;
+    uint64_t monitor_enters = 0;
+    uint64_t remote_hits = 0;   //!< remote refs resolved via the map
+};
+
+/** Executes one request at a time against a shared VmContext. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(VmContext &ctx);
+
+    /** Begin executing @p entry with the given arguments. */
+    void start(MethodId entry, std::vector<Value> args);
+
+    /** True while there are frames to run. */
+    bool running() const { return !frames_.empty(); }
+
+    /** Execute until the next suspension point. */
+    Suspend run();
+
+    /**
+     * CPU nanoseconds accumulated since the last call; the caller
+     * charges them to the simulated CPU. Resets the accumulator.
+     */
+    double consumeCost();
+
+    /** Complete an External/OffloadCall suspension with its result. */
+    void resumeExternal(Value result);
+
+    /**
+     * Monitor grant: the driver calls this once the SyncManager
+     * granted the MonitorAcquire suspension; the retried
+     * MonitorEnter then proceeds instead of re-suspending (the
+     * one-shot flag is what makes acquisition atomic under
+     * contention).
+     */
+    void grantMonitor(Ref obj) { granted_monitor_ = obj; }
+
+    /** Release bookkeeping done: let the MonitorExit retry pass. */
+    void grantRelease() { release_granted_ = true; }
+
+    /** Volatile data sync done: let the access retry proceed. */
+    void grantVolatile(Ref obj) { granted_volatile_ = obj; }
+
+    /**
+     * Never redirect calls to FaaS from this interpreter (used for
+     * the server-local execution of a handler whose offload attempt
+     * chose the local path, and for vanilla baselines).
+     */
+    void setSuppressOffload(bool on) { suppress_offload_ = on; }
+
+    /** @name Failure recovery (paper Section 4.5) */
+    /// @{
+    /** Copy of the current frame stack. */
+    std::vector<Frame> snapshotFrames() const { return frames_; }
+    /** Replace the frame stack (re-execution from a sync point). */
+    void restoreFrames(std::vector<Frame> frames);
+    /// @}
+
+    /** Iterate every root reference (GC). */
+    void forEachRoot(const std::function<void(Value &)> &fn);
+
+    /** @name Profiling support */
+    /// @{
+    /**
+     * Automatic candidate profiling: when enabled and the context
+     * has a Profiler, entering a candidate method starts recording
+     * its dynamic extent (klasses used, statics touched, cost);
+     * returning from it flushes a RootProfile sample. This is how
+     * framework plumbing around an annotated handler stays out of
+     * the handler's profile (Section 4.3).
+     */
+    void enableCandidateProfiling(bool on)
+    {
+        candidate_profiling_ = on;
+    }
+
+    /** Record klass-use and static-access sets during execution. */
+    void enableRecording(bool on) { recording_ = on; }
+    const std::set<KlassId> &recordedKlasses() const
+    {
+        return recorded_klasses_;
+    }
+    const std::set<std::pair<KlassId, uint32_t>> &
+    recordedStatics() const
+    {
+        return recorded_statics_;
+    }
+    void clearRecording();
+    /// @}
+
+    const InterpStats &stats() const { return stats_; }
+    std::size_t frameDepth() const { return frames_.size(); }
+
+    VmContext &context() { return ctx_; }
+
+  private:
+    /** Outcome of a single instruction step. */
+    enum class StepResult { Continue, Suspended, Finished };
+
+    StepResult step(Suspend &out);
+
+    Frame &top() { return frames_.back(); }
+
+    /** Push/pop helpers operating on the top frame. */
+    void push(Value v) { top().stack.push_back(v); }
+    Value pop();
+    Value &peek(std::size_t depth = 0);
+
+    /**
+     * Check a just-loaded value for the remote mark; rewrite it via
+     * the remote map (resetting the bit at @p slot, exactly like the
+     * paper) or produce an ObjectFault.
+     *
+     * @retval true when execution may continue.
+     */
+    bool checkLoadedValue(Value &slot, Suspend &out);
+
+    /**
+     * Resolve an object reference about to be dereferenced. Faults
+     * on unmapped remote refs; rewrites mapped ones in place.
+     */
+    bool resolveRef(Value &v, Suspend &out);
+
+    /** Ensure a klass is loaded; otherwise fill @p out and fault. */
+    bool requireKlass(KlassId id, Suspend &out);
+
+    void charge(double ns);
+    void enterMethod(MethodId id, std::vector<Value> args);
+    bool invoke(MethodId id, Suspend &out);
+    bool invokeNative(const Method &m, Suspend &out);
+
+    VmContext &ctx_;
+    std::vector<Frame> frames_;
+    double pending_cost_ = 0.0;
+    double quantum_acc_ = 0.0;
+    double cost_total_ = 0.0;
+    bool awaiting_external_ = false;
+    bool suppress_offload_ = false;
+    bool candidate_profiling_ = false;
+    Ref granted_monitor_ = kNullRef;
+    Ref granted_volatile_ = kNullRef;
+    bool release_granted_ = false;
+    bool candidate_active_ = false;
+    MethodId candidate_root_ = kNoMethod;
+    std::size_t candidate_depth_ = 0;
+    double candidate_cost_start_ = 0.0;
+    uint64_t candidate_syncs_start_ = 0;
+    bool recording_ = false;
+    std::set<KlassId> recorded_klasses_;
+    std::set<std::pair<KlassId, uint32_t>> recorded_statics_;
+    InterpStats stats_;
+};
+
+} // namespace beehive::vm
+
+#endif // BEEHIVE_VM_INTERPRETER_H

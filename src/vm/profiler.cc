@@ -1,0 +1,79 @@
+#include "vm/profiler.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace beehive::vm {
+
+void
+Profiler::addCandidateAnnotation(const std::string &name)
+{
+    for (MethodId id : program_.methodsWithAnnotation(name))
+        candidates_.insert(id);
+}
+
+bool
+Profiler::isCandidate(MethodId id) const
+{
+    return candidates_.count(id) > 0;
+}
+
+std::vector<MethodId>
+Profiler::candidates() const
+{
+    return {candidates_.begin(), candidates_.end()};
+}
+
+void
+Profiler::recordExecution(
+    MethodId root, double cost_ns, const std::set<KlassId> &klasses,
+    const std::set<std::pair<KlassId, uint32_t>> &statics,
+    uint64_t monitor_enters)
+{
+    bh_assert(isCandidate(root), "recording a non-candidate root");
+    RootProfile &p = profiles_[root];
+    ++p.invocations;
+    p.total_cost_ns += cost_ns;
+    p.monitor_enters += monitor_enters;
+    p.klasses.insert(klasses.begin(), klasses.end());
+    p.statics.insert(statics.begin(), statics.end());
+}
+
+const RootProfile *
+Profiler::profile(MethodId root) const
+{
+    auto it = profiles_.find(root);
+    return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::vector<MethodId>
+Profiler::selectRoots(double min_total_ns, double min_avg_ns) const
+{
+    std::vector<MethodId> out;
+    for (const auto &[id, p] : profiles_) {
+        if (p.total_cost_ns >= min_total_ns &&
+            p.avgCostNs() >= min_avg_ns) {
+            out.push_back(id);
+        }
+    }
+    std::sort(out.begin(), out.end(), [&](MethodId a, MethodId b) {
+        return profiles_.at(a).total_cost_ns >
+               profiles_.at(b).total_cost_ns;
+    });
+    return out;
+}
+
+std::vector<MethodId>
+Profiler::selectRootsSyncAware(double min_total_ns, double min_avg_ns,
+                               double max_avg_syncs) const
+{
+    std::vector<MethodId> out;
+    for (MethodId id : selectRoots(min_total_ns, min_avg_ns)) {
+        if (profiles_.at(id).avgSyncs() <= max_avg_syncs)
+            out.push_back(id);
+    }
+    return out;
+}
+
+} // namespace beehive::vm

@@ -1,0 +1,161 @@
+#include "vm/program.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace beehive::vm {
+
+bool
+Method::hasAnnotation(const std::string &name) const
+{
+    return std::any_of(annotations.begin(), annotations.end(),
+                       [&](const Annotation &a) { return a.name == name; });
+}
+
+KlassId
+Program::addKlass(Klass klass)
+{
+    bh_assert(klass_by_name_.find(klass.name) == klass_by_name_.end(),
+              "duplicate klass %s", klass.name.c_str());
+    KlassId id = static_cast<KlassId>(klasses_.size());
+    klass_by_name_[klass.name] = id;
+    klasses_.push_back(std::move(klass));
+    return id;
+}
+
+MethodId
+Program::addMethod(KlassId owner, Method method)
+{
+    bh_assert(owner < klasses_.size(), "bad owner klass");
+    method.owner = owner;
+    MethodId id = static_cast<MethodId>(methods_.size());
+    std::string qname = klasses_[owner].name + "." + method.name;
+    bh_assert(method_by_qname_.find(qname) == method_by_qname_.end(),
+              "duplicate method %s", qname.c_str());
+    method_by_qname_[qname] = id;
+    klasses_[owner].methods.push_back(id);
+    methods_.push_back(std::move(method));
+    return id;
+}
+
+uint32_t
+Program::internString(const std::string &s)
+{
+    auto it = string_ids_.find(s);
+    if (it != string_ids_.end())
+        return it->second;
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.push_back(s);
+    string_ids_[s] = id;
+    return id;
+}
+
+NameId
+Program::internName(const std::string &s)
+{
+    auto it = name_ids_.find(s);
+    if (it != name_ids_.end())
+        return it->second;
+    NameId id = static_cast<NameId>(names_.size());
+    names_.push_back(s);
+    name_ids_[s] = id;
+    return id;
+}
+
+const Klass &
+Program::klass(KlassId id) const
+{
+    bh_assert(id < klasses_.size(), "bad klass id %u", id);
+    return klasses_[id];
+}
+
+Klass &
+Program::klass(KlassId id)
+{
+    bh_assert(id < klasses_.size(), "bad klass id %u", id);
+    return klasses_[id];
+}
+
+const Method &
+Program::method(MethodId id) const
+{
+    bh_assert(id < methods_.size(), "bad method id %u", id);
+    return methods_[id];
+}
+
+Method &
+Program::method(MethodId id)
+{
+    bh_assert(id < methods_.size(), "bad method id %u", id);
+    return methods_[id];
+}
+
+const std::string &
+Program::stringAt(uint32_t idx) const
+{
+    bh_assert(idx < strings_.size(), "bad string index");
+    return strings_[idx];
+}
+
+const std::string &
+Program::nameAt(NameId id) const
+{
+    bh_assert(id < names_.size(), "bad name id");
+    return names_[id];
+}
+
+KlassId
+Program::findKlass(const std::string &name) const
+{
+    auto it = klass_by_name_.find(name);
+    return it == klass_by_name_.end() ? kNoKlass : it->second;
+}
+
+MethodId
+Program::findMethod(const std::string &qualified) const
+{
+    auto it = method_by_qname_.find(qualified);
+    return it == method_by_qname_.end() ? kNoMethod : it->second;
+}
+
+MethodId
+Program::resolveVirtual(KlassId klass_id, NameId name) const
+{
+    const std::string &mname = nameAt(name);
+    KlassId k = klass_id;
+    while (k != kNoKlass) {
+        const Klass &kl = klass(k);
+        for (MethodId mid : kl.methods) {
+            if (methods_[mid].name == mname)
+                return mid;
+        }
+        k = kl.super;
+    }
+    return kNoMethod;
+}
+
+uint32_t
+Program::fieldCount(KlassId id) const
+{
+    uint32_t count = 0;
+    KlassId k = id;
+    while (k != kNoKlass) {
+        count += static_cast<uint32_t>(klass(k).fields.size());
+        k = klass(k).super;
+    }
+    return count;
+}
+
+std::vector<MethodId>
+Program::methodsWithAnnotation(const std::string &name) const
+{
+    std::vector<MethodId> out;
+    for (MethodId id = 0; id < methods_.size(); ++id) {
+        if (methods_[id].hasAnnotation(name))
+            out.push_back(id);
+    }
+    return out;
+}
+
+} // namespace beehive::vm

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Static program metadata: klasses, methods, annotations, bytecode.
+ *
+ * A Program is the analogue of the application's jar file: the
+ * immutable universe of classes and methods. Each endpoint VM keeps
+ * its own *loaded set* of klasses -- the server loads everything at
+ * startup, while a FaaS function starts with only the klasses in its
+ * initial closure and faults the rest in on demand (the paper's
+ * missing-code fallback).
+ */
+
+#ifndef BEEHIVE_VM_PROGRAM_H
+#define BEEHIVE_VM_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vm/value.h"
+
+namespace beehive::vm {
+
+using KlassId = uint32_t;
+using MethodId = uint32_t;
+using NameId = uint32_t;
+
+constexpr KlassId kNoKlass = UINT32_MAX;
+constexpr MethodId kNoMethod = UINT32_MAX;
+
+/** Bytecode operations of the HiveVM stack machine. */
+enum class Op : uint8_t
+{
+    Nop,
+    // Stack and locals. a = slot / immediate.
+    PushI,       //!< push int immediate a
+    PushF,       //!< push double (bit pattern in a)
+    PushNil,
+    Load,        //!< push locals[a]
+    Store,       //!< locals[a] = pop
+    Dup,
+    Pop,
+    Swap,
+    // Arithmetic/logic. Operate on the top of the stack.
+    Add, Sub, Mul, Div, Mod, Neg,
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+    And, Or, Not,
+    // Control. a = absolute target pc.
+    Jmp,
+    Jz,          //!< jump when popped value is falsy
+    Jnz,
+    // Objects. a = klass / field index.
+    New,         //!< push new instance of klass a
+    GetField,    //!< pop obj; push obj.field[a]
+    PutField,    //!< pop value, pop obj; obj.field[a] = value
+    NewArr,      //!< pop length; push new array of klass a
+    ALoad,       //!< pop idx, pop arr; push arr[idx]
+    AStore,      //!< pop value, pop idx, pop arr; arr[idx] = value
+    ArrLen,      //!< pop arr; push its length
+    NewBytes,    //!< push new byte object from string-pool entry a
+    BytesLen,    //!< pop bytes; push length
+    GetStatic,   //!< push statics[klass a][slot b]
+    PutStatic,   //!< statics[klass a][slot b] = pop
+    // Calls. a = method id / name id; b = arg count for CallVirt.
+    Call,        //!< invoke method a; args on stack in order
+    CallVirt,    //!< resolve name a on receiver (b args incl. recv)
+    CallNative,  //!< invoke native method a (declared in program)
+    Ret,         //!< return top of stack to the caller
+    // Synchronization (paper Section 4.2).
+    MonitorEnter, //!< pop obj; acquire its monitor
+    MonitorExit,  //!< pop obj; release its monitor
+    GetVolatile,  //!< like GetField with acquire semantics
+    PutVolatile,  //!< like PutField with release semantics
+    // Modelled computation: spend a nanoseconds of CPU work.
+    Compute,
+};
+
+/** One bytecode instruction (fixed two-operand encoding). */
+struct Instr
+{
+    Op op = Op::Nop;
+    int64_t a = 0;
+    int64_t b = 0;
+};
+
+/** Annotation attached to a method or klass (e.g. "RequestMapping"). */
+struct Annotation
+{
+    std::string name;
+
+    bool operator==(const Annotation &o) const { return name == o.name; }
+};
+
+/** Categories of native methods (paper Table 2). */
+enum class NativeCategory : uint8_t
+{
+    PureOnHeap,   //!< e.g. System.arraycopy: heap-only, offloadable
+    HiddenState,  //!< e.g. MethodAccessor.invoke0: off-heap state
+    Network,      //!< e.g. socketRead0: stateful connections
+    Stateless,    //!< e.g. Thread.currentThread: no side effects
+};
+
+/** A method: bytecode or native. */
+struct Method
+{
+    std::string name;                  //!< unqualified name
+    KlassId owner = kNoKlass;
+    uint16_t num_args = 0;             //!< locals [0, num_args) on entry
+    uint16_t num_locals = 0;           //!< total local slots
+    std::vector<Instr> code;
+    std::vector<Annotation> annotations;
+    bool is_native = false;
+    uint32_t native_id = 0;            //!< key into the NativeRegistry
+    NativeCategory native_category = NativeCategory::PureOnHeap;
+
+    bool hasAnnotation(const std::string &name) const;
+};
+
+/** A klass: fields, methods, inheritance, transfer size. */
+struct Klass
+{
+    std::string name;
+    KlassId super = kNoKlass;
+    std::vector<std::string> fields;   //!< instance field names
+    std::vector<std::string> statics;  //!< static field names
+    std::vector<MethodId> methods;
+    std::vector<Annotation> annotations;
+    bool packageable = false;          //!< implements Packageable
+    uint32_t code_bytes = 1024;        //!< class-file size (transfer)
+    /** Klasses this klass's code references (closure traversal). */
+    std::vector<KlassId> references;
+};
+
+/** The immutable program: all klasses + methods + string pool. */
+class Program
+{
+  public:
+    /** Define a new klass; returns its id. Names must be unique. */
+    KlassId addKlass(Klass klass);
+
+    /** Define a method on @p owner; returns its id. */
+    MethodId addMethod(KlassId owner, Method method);
+
+    /** Intern a string literal; returns its pool index. */
+    uint32_t internString(const std::string &s);
+
+    /** Intern a method name for CallVirt dispatch. */
+    NameId internName(const std::string &s);
+
+    const Klass &klass(KlassId id) const;
+    Klass &klass(KlassId id);
+    const Method &method(MethodId id) const;
+    Method &method(MethodId id);
+    const std::string &stringAt(uint32_t idx) const;
+    const std::string &nameAt(NameId id) const;
+
+    KlassId findKlass(const std::string &name) const;
+    /** Find "Klass.method"; kNoMethod when absent. */
+    MethodId findMethod(const std::string &qualified) const;
+
+    /**
+     * Resolve a virtual call: look for @p name on @p klass, walking
+     * up the super chain.
+     */
+    MethodId resolveVirtual(KlassId klass, NameId name) const;
+
+    /** Total instance field count including inherited fields. */
+    uint32_t fieldCount(KlassId id) const;
+
+    std::size_t klassCount() const { return klasses_.size(); }
+    std::size_t methodCount() const { return methods_.size(); }
+
+    /** All method ids carrying the given annotation. */
+    std::vector<MethodId>
+    methodsWithAnnotation(const std::string &name) const;
+
+  private:
+    std::vector<Klass> klasses_;
+    std::vector<Method> methods_;
+    std::vector<std::string> strings_;
+    std::vector<std::string> names_;
+    std::map<std::string, KlassId> klass_by_name_;
+    std::map<std::string, MethodId> method_by_qname_;
+    std::map<std::string, uint32_t> string_ids_;
+    std::map<std::string, NameId> name_ids_;
+};
+
+} // namespace beehive::vm
+
+#endif // BEEHIVE_VM_PROGRAM_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tagged values and heap reference encoding.
+ *
+ * A Ref is a 64-bit heap address: bits [55:0] hold the byte offset
+ * within a space, bits [61:56] the space id, and bit 63 the *remote*
+ * mark. Exactly as in the paper's Figure 5, a reference whose most
+ * significant bit is set denotes an object that still lives on
+ * another endpoint; such addresses can never collide with local heap
+ * references, and FaaS-side reference loads check the bit and fault.
+ */
+
+#ifndef BEEHIVE_VM_VALUE_H
+#define BEEHIVE_VM_VALUE_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace beehive::vm {
+
+/** Heap reference (0 = null). */
+using Ref = uint64_t;
+
+constexpr Ref kNullRef = 0;
+
+/** The remote mark: MSB of the address (paper Section 4.1). */
+constexpr uint64_t kRemoteBit = 1ULL << 63;
+
+constexpr uint64_t kSpaceShift = 56;
+constexpr uint64_t kSpaceMask = 0x3FULL << kSpaceShift;
+constexpr uint64_t kOffsetMask = (1ULL << kSpaceShift) - 1;
+
+/** Compose a local reference from space id and byte offset. */
+constexpr Ref
+makeRef(uint8_t space, uint64_t offset)
+{
+    return (static_cast<uint64_t>(space) << kSpaceShift) |
+           (offset & kOffsetMask);
+}
+
+constexpr bool isRemote(Ref r) { return (r & kRemoteBit) != 0; }
+constexpr Ref markRemote(Ref r) { return r | kRemoteBit; }
+constexpr Ref stripRemote(Ref r) { return r & ~kRemoteBit; }
+constexpr uint8_t refSpace(Ref r)
+{
+    return static_cast<uint8_t>((r & kSpaceMask) >> kSpaceShift);
+}
+constexpr uint64_t refOffset(Ref r) { return r & kOffsetMask; }
+
+/** A tagged VM value: nil, 64-bit int, double, or reference. */
+struct Value
+{
+    enum class Kind : uint8_t { Nil = 0, Int, Float, Ref };
+
+    Kind kind = Kind::Nil;
+    uint64_t bits = 0;
+
+    static Value nil() { return Value{}; }
+
+    static Value
+    ofInt(int64_t v)
+    {
+        Value out;
+        out.kind = Kind::Int;
+        out.bits = static_cast<uint64_t>(v);
+        return out;
+    }
+
+    static Value
+    ofFloat(double v)
+    {
+        Value out;
+        out.kind = Kind::Float;
+        std::memcpy(&out.bits, &v, sizeof v);
+        return out;
+    }
+
+    static Value
+    ofRef(::beehive::vm::Ref r)
+    {
+        Value out;
+        out.kind = Kind::Ref;
+        out.bits = r;
+        return out;
+    }
+
+    bool isNil() const { return kind == Kind::Nil; }
+    bool isInt() const { return kind == Kind::Int; }
+    bool isFloat() const { return kind == Kind::Float; }
+    bool isRef() const { return kind == Kind::Ref; }
+
+    int64_t asInt() const { return static_cast<int64_t>(bits); }
+
+    double
+    asFloat() const
+    {
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    ::beehive::vm::Ref asRef() const { return bits; }
+
+    /** Numeric coercion: ints promote to double. */
+    double
+    asNumber() const
+    {
+        return isFloat() ? asFloat() : static_cast<double>(asInt());
+    }
+
+    /** Truthiness: nil and 0 are false. */
+    bool
+    truthy() const
+    {
+        switch (kind) {
+          case Kind::Nil: return false;
+          case Kind::Int: return asInt() != 0;
+          case Kind::Float: return asFloat() != 0.0;
+          case Kind::Ref: return bits != kNullRef;
+        }
+        return false;
+    }
+
+    bool
+    operator==(const Value &o) const
+    {
+        return kind == o.kind && bits == o.bits;
+    }
+};
+
+} // namespace beehive::vm
+
+#endif // BEEHIVE_VM_VALUE_H

@@ -1,0 +1,118 @@
+#include "workload/clients.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace beehive::workload {
+
+using sim::SimTime;
+
+void
+Recorder::record(SimTime start, SimTime end)
+{
+    if (end < cutoff_)
+        return;
+    double seconds = (end - start).toSeconds();
+    all_.add(seconds);
+    series_.add(end, seconds);
+    timeline_.emplace_back(end, seconds);
+    ++completed_;
+}
+
+double
+Recorder::throughput(SimTime from, SimTime to) const
+{
+    if (to <= from)
+        return 0.0;
+    uint64_t n = 0;
+    for (const auto &[t, latency] : timeline_) {
+        if (t >= from && t <= to)
+            ++n;
+    }
+    return static_cast<double>(n) / (to - from).toSeconds();
+}
+
+double
+Recorder::windowPercentile(SimTime from, SimTime to, double p) const
+{
+    sim::SampleSet window;
+    for (const auto &[t, latency] : timeline_) {
+        if (t >= from && t <= to)
+            window.add(latency);
+    }
+    return window.percentile(p);
+}
+
+ClosedLoopClients::ClosedLoopClients(sim::Simulation &sim,
+                                     RequestSink sink,
+                                     Recorder &recorder)
+    : sim_(sim), sink_(std::move(sink)), recorder_(recorder)
+{
+}
+
+void
+ClosedLoopClients::start(int n, SimTime from)
+{
+    startWindow(n, from, SimTime::max());
+}
+
+void
+ClosedLoopClients::startWindow(int n, SimTime from, SimTime until)
+{
+    for (int i = 0; i < n; ++i) {
+        sim_.at(from, [this, until] {
+            ++active_;
+            clientLoop(until);
+        });
+    }
+}
+
+void
+ClosedLoopClients::clientLoop(SimTime until)
+{
+    if (stopped_ || sim_.now() > until) {
+        --active_;
+        return;
+    }
+    SimTime start = sim_.now();
+    sink_(next_id_++, [this, start, until] {
+        recorder_.record(start, sim_.now());
+        if (think_ > SimTime()) {
+            sim_.after(think_, [this, until] { clientLoop(until); });
+        } else {
+            clientLoop(until);
+        }
+    });
+}
+
+OpenLoopArrivals::OpenLoopArrivals(sim::Simulation &sim,
+                                   RequestSink sink,
+                                   Recorder &recorder)
+    : sim_(sim), sink_(std::move(sink)), recorder_(recorder),
+      rng_(sim.rng().fork())
+{
+}
+
+void
+OpenLoopArrivals::run(double rps, SimTime from, SimTime until)
+{
+    bh_assert(rps > 0.0, "arrival rate must be positive");
+    sim_.at(from, [this, rps, until] { scheduleNext(rps, until); });
+}
+
+void
+OpenLoopArrivals::scheduleNext(double rps, SimTime until)
+{
+    if (sim_.now() > until)
+        return;
+    SimTime start = sim_.now();
+    sink_(next_id_++, [this, start] {
+        recorder_.record(start, sim_.now());
+    });
+    double gap_s = rng_.exponential(1.0 / rps);
+    sim_.after(SimTime::seconds(gap_s),
+               [this, rps, until] { scheduleNext(rps, until); });
+}
+
+} // namespace beehive::workload

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Workload generation: closed-loop client pools and open-loop
+ * Poisson arrivals, with latency recording.
+ *
+ * Figure 2 and Figure 7 use closed-loop concurrent clients that
+ * send requests repetitively; Figure 8's throughput sweep offers a
+ * fixed arrival rate (open loop). Both drive an abstract
+ * RequestSink so the same generators serve vanilla servers, scaled
+ * baselines, and BeeHive configurations.
+ */
+
+#ifndef BEEHIVE_WORKLOAD_CLIENTS_H
+#define BEEHIVE_WORKLOAD_CLIENTS_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/simulation.h"
+#include "sim/stats.h"
+
+namespace beehive::workload {
+
+/**
+ * Where requests go: implementations call @p done when the request
+ * completes. @p id is a unique request sequence number.
+ */
+using RequestSink =
+    std::function<void(int64_t id, std::function<void()> done)>;
+
+/** Latency/throughput recording shared by the generators. */
+class Recorder
+{
+  public:
+    explicit Recorder(sim::SimTime bucket = sim::SimTime::sec(1))
+        : series_(bucket)
+    {}
+
+    /** Record a completed request. */
+    void record(sim::SimTime start, sim::SimTime end);
+
+    /** All samples (seconds). */
+    const sim::SampleSet &latencies() const { return all_; }
+
+    /** Per-second series (values in seconds). */
+    const sim::TimeSeries &series() const { return series_; }
+
+    uint64_t completed() const { return completed_; }
+
+    /** Completed-requests throughput over [from, to] in rps. */
+    double throughput(sim::SimTime from, sim::SimTime to) const;
+
+    /** Latency percentile (seconds) over completions in [from, to]. */
+    double windowPercentile(sim::SimTime from, sim::SimTime to,
+                            double p) const;
+
+    /** Restrict recording to completions at or after @p t. */
+    void setWarmupCutoff(sim::SimTime t) { cutoff_ = t; }
+
+  private:
+    sim::SampleSet all_;
+    sim::TimeSeries series_;
+    std::vector<std::pair<sim::SimTime, double>> timeline_;
+    uint64_t completed_ = 0;
+    sim::SimTime cutoff_;
+};
+
+/**
+ * N closed-loop clients: each sends, waits for the response, and
+ * immediately sends again (optional think time).
+ */
+class ClosedLoopClients
+{
+  public:
+    ClosedLoopClients(sim::Simulation &sim, RequestSink sink,
+                      Recorder &recorder);
+
+    /** Add @p n clients starting at time @p from. */
+    void start(int n, sim::SimTime from);
+
+    /**
+     * Add @p n clients active only in [from, until] (burst load).
+     */
+    void startWindow(int n, sim::SimTime from, sim::SimTime until);
+
+    /** Think time between response and next request (default 0). */
+    void setThinkTime(sim::SimTime t) { think_ = t; }
+
+    /** Stop issuing new requests (in-flight ones finish). */
+    void stopAll() { stopped_ = true; }
+
+    int active() const { return active_; }
+
+  private:
+    void clientLoop(sim::SimTime until);
+
+    sim::Simulation &sim_;
+    RequestSink sink_;
+    Recorder &recorder_;
+    sim::SimTime think_;
+    int64_t next_id_ = 0;
+    int active_ = 0;
+    bool stopped_ = false;
+};
+
+/** Open-loop Poisson arrivals at a fixed rate. */
+class OpenLoopArrivals
+{
+  public:
+    OpenLoopArrivals(sim::Simulation &sim, RequestSink sink,
+                     Recorder &recorder);
+
+    /** Offer @p rps arrivals during [from, until]. */
+    void run(double rps, sim::SimTime from, sim::SimTime until);
+
+  private:
+    void scheduleNext(double rps, sim::SimTime until);
+
+    sim::Simulation &sim_;
+    RequestSink sink_;
+    Recorder &recorder_;
+    Rng rng_;
+    int64_t next_id_ = 0;
+};
+
+} // namespace beehive::workload
+
+#endif // BEEHIVE_WORKLOAD_CLIENTS_H

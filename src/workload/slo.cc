@@ -1,0 +1,45 @@
+#include "workload/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace beehive::workload {
+
+using sim::SimTime;
+
+SloController::SloController(sim::Simulation &sim, Recorder &recorder,
+                             RatioSetter set_ratio)
+    : sim_(sim), recorder_(recorder), set_ratio_(std::move(set_ratio))
+{
+}
+
+void
+SloController::run(SimTime from, SimTime until)
+{
+    sim_.at(from, [this, until] { tick(until); });
+}
+
+void
+SloController::tick(SimTime until)
+{
+    if (sim_.now() > until)
+        return;
+    SimTime window_start =
+        sim_.now() > period_ ? sim_.now() - period_ : SimTime();
+    double p99 =
+        recorder_.windowPercentile(window_start, sim_.now(), 99.0);
+    if (!std::isnan(p99)) {
+        if (p99 > slo_) {
+            ratio_ = std::min(1.0, ratio_ + step_);
+        } else if (p99 < 0.8 * slo_) {
+            // Hysteresis: only pull work back when comfortably
+            // under the target, so the ratio doesn't oscillate at
+            // the boundary.
+            ratio_ = std::max(0.0, ratio_ - step_ / 2.0);
+        }
+        set_ratio_(ratio_);
+    }
+    sim_.after(period_, [this, until] { tick(until); });
+}
+
+} // namespace beehive::workload

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SLO-driven offload control (paper Section 5.5, Figure 10).
+ *
+ * "When the SLO becomes lower, all scaling solutions continuously
+ * offload more requests until it is satisfied": the controller
+ * periodically compares the recent-window p99 against the SLO and
+ * nudges the offloading ratio up (latency too high: shed load to
+ * FaaS) or down (comfortably under: pull work back).
+ */
+
+#ifndef BEEHIVE_WORKLOAD_SLO_H
+#define BEEHIVE_WORKLOAD_SLO_H
+
+#include <functional>
+
+#include "sim/simulation.h"
+#include "workload/clients.h"
+
+namespace beehive::workload {
+
+/** Feedback controller mapping observed p99 to an offload ratio. */
+class SloController
+{
+  public:
+    using RatioSetter = std::function<void(double)>;
+
+    /**
+     * @param sim Simulation.
+     * @param recorder Latency source.
+     * @param set_ratio Applies the chosen offloading ratio.
+     */
+    SloController(sim::Simulation &sim, Recorder &recorder,
+                  RatioSetter set_ratio);
+
+    /** Target p99 in seconds. */
+    void setSlo(double seconds) { slo_ = seconds; }
+
+    /** Adjustment step per control period (default 0.1). */
+    void setStep(double step) { step_ = step; }
+
+    /** Control period (default 2 s). */
+    void setPeriod(sim::SimTime period) { period_ = period; }
+
+    /** Starting ratio before feedback kicks in. */
+    void setInitialRatio(double r) { ratio_ = r; }
+
+    /** Start controlling from @p from until @p until. */
+    void run(sim::SimTime from, sim::SimTime until);
+
+    double ratio() const { return ratio_; }
+
+  private:
+    void tick(sim::SimTime until);
+
+    sim::Simulation &sim_;
+    Recorder &recorder_;
+    RatioSetter set_ratio_;
+    double slo_ = 0.05;
+    double step_ = 0.1;
+    double ratio_ = 0.0;
+    sim::SimTime period_ = sim::SimTime::sec(2);
+};
+
+} // namespace beehive::workload
+
+#endif // BEEHIVE_WORKLOAD_SLO_H

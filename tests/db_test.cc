@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the record store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "db/record_store.h"
+
+namespace beehive::db {
+namespace {
+
+Row
+makeRow(int64_t id, const std::string &body)
+{
+    Row r;
+    r.id = id;
+    r.fields["body"] = body;
+    return r;
+}
+
+class RecordStoreTest : public ::testing::Test
+{
+  protected:
+    RecordStoreTest()
+    {
+        store.createTable("topics");
+        for (int64_t i = 1; i <= 10; ++i)
+            store.load("topics", {makeRow(i, "topic-" +
+                                               std::to_string(i))});
+    }
+
+    RecordStore store;
+};
+
+TEST_F(RecordStoreTest, CreateTableIsIdempotent)
+{
+    store.createTable("topics");
+    EXPECT_EQ(store.tableSize("topics"), 10u);
+    EXPECT_TRUE(store.hasTable("topics"));
+    EXPECT_FALSE(store.hasTable("nope"));
+}
+
+TEST_F(RecordStoreTest, GetReturnsStoredRow)
+{
+    Request req{OpKind::Get, "topics", 3};
+    Response resp = store.execute(req);
+    ASSERT_TRUE(resp.ok);
+    ASSERT_EQ(resp.rows.size(), 1u);
+    EXPECT_EQ(resp.rows[0].fields.at("body"), "topic-3");
+}
+
+TEST_F(RecordStoreTest, GetMissingRowFails)
+{
+    Request req{OpKind::Get, "topics", 999};
+    EXPECT_FALSE(store.execute(req).ok);
+}
+
+TEST_F(RecordStoreTest, GetMissingTableFails)
+{
+    Request req{OpKind::Get, "absent", 1};
+    EXPECT_FALSE(store.execute(req).ok);
+}
+
+TEST_F(RecordStoreTest, PutInsertsAndOverwrites)
+{
+    Request put{OpKind::Put, "topics", 42};
+    put.row = makeRow(0, "fresh");
+    EXPECT_TRUE(store.execute(put).ok);
+    EXPECT_EQ(store.tableSize("topics"), 11u);
+
+    put.row = makeRow(0, "updated");
+    EXPECT_TRUE(store.execute(put).ok);
+    EXPECT_EQ(store.tableSize("topics"), 11u);
+
+    Request get{OpKind::Get, "topics", 42};
+    EXPECT_EQ(store.execute(get).rows[0].fields.at("body"), "updated");
+    // Put fixes the row id to the request key.
+    EXPECT_EQ(store.execute(get).rows[0].id, 42);
+}
+
+TEST_F(RecordStoreTest, DeleteRemovesRow)
+{
+    Request del{OpKind::Delete, "topics", 5};
+    Response resp = store.execute(del);
+    EXPECT_TRUE(resp.ok);
+    EXPECT_EQ(resp.count, 1);
+    EXPECT_EQ(store.tableSize("topics"), 9u);
+    EXPECT_EQ(store.execute(del).count, 0);
+}
+
+TEST_F(RecordStoreTest, ScanRespectsOffsetAndLimit)
+{
+    Request scan{OpKind::Scan, "topics"};
+    scan.offset = 2;
+    scan.limit = 3;
+    Response resp = store.execute(scan);
+    ASSERT_TRUE(resp.ok);
+    ASSERT_EQ(resp.rows.size(), 3u);
+    EXPECT_EQ(resp.rows[0].id, 3);
+    EXPECT_EQ(resp.rows[2].id, 5);
+}
+
+TEST_F(RecordStoreTest, ScanPastEndReturnsShortResult)
+{
+    Request scan{OpKind::Scan, "topics"};
+    scan.offset = 8;
+    scan.limit = 10;
+    EXPECT_EQ(store.execute(scan).rows.size(), 2u);
+    scan.offset = 100;
+    EXPECT_EQ(store.execute(scan).rows.size(), 0u);
+}
+
+TEST_F(RecordStoreTest, CountReportsTableSize)
+{
+    Request count{OpKind::Count, "topics"};
+    EXPECT_EQ(store.execute(count).count, 10);
+}
+
+TEST_F(RecordStoreTest, ReadRejectsWrites)
+{
+    Request get{OpKind::Get, "topics", 1};
+    EXPECT_TRUE(store.read(get).ok);
+    Request put{OpKind::Put, "topics", 1};
+    EXPECT_DEATH((void)store.read(put), "read-only");
+}
+
+TEST_F(RecordStoreTest, ServiceTimeScalesWithScanSize)
+{
+    Request small{OpKind::Scan, "topics"};
+    small.limit = 1;
+    Request big{OpKind::Scan, "topics"};
+    big.limit = 500;
+    EXPECT_LT(store.serviceTime(small), store.serviceTime(big));
+}
+
+TEST(WireSize, GrowsWithPayload)
+{
+    Row small = makeRow(1, "x");
+    Row big = makeRow(2, std::string(1000, 'y'));
+    EXPECT_LT(small.wireSize(), big.wireSize());
+
+    Request put{OpKind::Put, "t", 1};
+    put.row = big;
+    Request get{OpKind::Get, "t", 1};
+    EXPECT_GT(put.wireSize(), get.wireSize());
+
+    Response resp;
+    resp.rows.push_back(big);
+    EXPECT_GT(resp.wireSize(), big.wireSize());
+}
+
+} // namespace
+} // namespace beehive::db

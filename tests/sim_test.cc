@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
+#include "sim/simulation.h"
+#include "sim/stats.h"
+
+namespace beehive::sim {
+namespace {
+
+TEST(SimTime, UnitConversions)
+{
+    EXPECT_EQ(SimTime::usec(3).ns(), 3000);
+    EXPECT_EQ(SimTime::msec(2).ns(), 2000000);
+    EXPECT_EQ(SimTime::sec(1).ns(), 1000000000);
+    EXPECT_DOUBLE_EQ(SimTime::msec(1500).toSeconds(), 1.5);
+    EXPECT_DOUBLE_EQ(SimTime::seconds(0.25).toMillis(), 250.0);
+}
+
+TEST(SimTime, Arithmetic)
+{
+    SimTime t = SimTime::sec(1) + SimTime::msec(500);
+    EXPECT_DOUBLE_EQ(t.toSeconds(), 1.5);
+    t -= SimTime::msec(1500);
+    EXPECT_EQ(t, SimTime());
+    EXPECT_EQ((SimTime::sec(2) * 0.5), SimTime::sec(1));
+}
+
+TEST(SimTime, Ordering)
+{
+    EXPECT_LT(SimTime::msec(1), SimTime::msec(2));
+    EXPECT_GT(SimTime::max(), SimTime::sec(1000000));
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(SimTime::msec(5), [&] { order.push_back(2); });
+    q.schedule(SimTime::msec(1), [&] { order.push_back(1); });
+    q.schedule(SimTime::msec(9), [&] { order.push_back(3); });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(SimTime::msec(7), [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runOne();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(SimTime::msec(1), [&] { ran = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceIsNoOp)
+{
+    EventQueue q;
+    EventId id = q.schedule(SimTime::msec(1), [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(99999));
+}
+
+TEST(EventQueue, NextTimeReflectsEarliestPending)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextTime(), SimTime::max());
+    q.schedule(SimTime::msec(5), [] {});
+    EventId early = q.schedule(SimTime::msec(2), [] {});
+    EXPECT_EQ(q.nextTime(), SimTime::msec(2));
+    q.cancel(early);
+    EXPECT_EQ(q.nextTime(), SimTime::msec(5));
+}
+
+TEST(EventQueue, CallbackMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 5)
+            q.schedule(SimTime::msec(fired), chain);
+    };
+    q.schedule(SimTime(), chain);
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulation, ClockAdvancesWithEvents)
+{
+    Simulation sim;
+    SimTime seen;
+    sim.after(SimTime::msec(10), [&] { seen = sim.now(); });
+    sim.runUntil(SimTime::sec(1));
+    EXPECT_EQ(seen, SimTime::msec(10));
+    EXPECT_EQ(sim.now(), SimTime::sec(1));
+}
+
+TEST(Simulation, RunUntilStopsAtLimit)
+{
+    Simulation sim;
+    bool late_ran = false;
+    sim.after(SimTime::sec(5), [&] { late_ran = true; });
+    sim.runUntil(SimTime::sec(2));
+    EXPECT_FALSE(late_ran);
+    EXPECT_EQ(sim.now(), SimTime::sec(2));
+    sim.runUntil(SimTime::sec(10));
+    EXPECT_TRUE(late_ran);
+}
+
+TEST(Simulation, EventAtLimitStillRuns)
+{
+    Simulation sim;
+    bool ran = false;
+    sim.after(SimTime::sec(2), [&] { ran = true; });
+    sim.runUntil(SimTime::sec(2));
+    EXPECT_TRUE(ran);
+}
+
+TEST(Cpu, SingleJobIdleCpuFinishesAtWorkOverSpeed)
+{
+    Simulation sim;
+    ProcessorSharingCpu cpu(sim, 4, 1.0);
+    SimTime done_at;
+    cpu.submit(1e6 /* 1 ms of work */, [&] { done_at = sim.now(); });
+    sim.runAll();
+    EXPECT_NEAR(done_at.toMillis(), 1.0, 0.001);
+}
+
+TEST(Cpu, SpeedFactorScalesServiceTime)
+{
+    Simulation sim;
+    ProcessorSharingCpu cpu(sim, 1, 0.5);
+    SimTime done_at;
+    cpu.submit(1e6, [&] { done_at = sim.now(); });
+    sim.runAll();
+    EXPECT_NEAR(done_at.toMillis(), 2.0, 0.001);
+}
+
+TEST(Cpu, JobsWithinCoreCountDontInterfere)
+{
+    Simulation sim;
+    ProcessorSharingCpu cpu(sim, 4, 1.0);
+    std::vector<double> done;
+    for (int i = 0; i < 4; ++i)
+        cpu.submit(1e6, [&] { done.push_back(sim.now().toMillis()); });
+    sim.runAll();
+    ASSERT_EQ(done.size(), 4u);
+    for (double d : done)
+        EXPECT_NEAR(d, 1.0, 0.001);
+}
+
+TEST(Cpu, OverloadedCpuSharesProportionally)
+{
+    Simulation sim;
+    ProcessorSharingCpu cpu(sim, 1, 1.0);
+    std::vector<double> done;
+    // Two equal jobs on one core: both finish at ~2 ms.
+    for (int i = 0; i < 2; ++i)
+        cpu.submit(1e6, [&] { done.push_back(sim.now().toMillis()); });
+    sim.runAll();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_NEAR(done[0], 2.0, 0.01);
+    EXPECT_NEAR(done[1], 2.0, 0.01);
+}
+
+TEST(Cpu, LateArrivalSlowsExistingJob)
+{
+    Simulation sim;
+    ProcessorSharingCpu cpu(sim, 1, 1.0);
+    double first_done = 0.0;
+    cpu.submit(2e6, [&] { first_done = sim.now().toMillis(); });
+    // Second job arrives at t=1ms; from then on each runs at half
+    // rate. First has 1ms left -> finishes at 1 + 2 = 3ms.
+    sim.after(SimTime::msec(1), [&] { cpu.submit(2e6, [] {}); });
+    sim.runAll();
+    EXPECT_NEAR(first_done, 3.0, 0.01);
+}
+
+TEST(Cpu, CancelRemovesJob)
+{
+    Simulation sim;
+    ProcessorSharingCpu cpu(sim, 1, 1.0);
+    bool ran = false;
+    auto id = cpu.submit(1e6, [&] { ran = true; });
+    EXPECT_TRUE(cpu.cancel(id));
+    EXPECT_FALSE(cpu.cancel(id));
+    sim.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(cpu.active(), 0);
+}
+
+TEST(Cpu, SetSpeedAffectsRemainingWorkOnly)
+{
+    Simulation sim;
+    ProcessorSharingCpu cpu(sim, 1, 1.0);
+    double done_at = 0.0;
+    cpu.submit(2e6, [&] { done_at = sim.now().toMillis(); });
+    // Double the speed halfway through: 1ms at speed 1 leaves 1e6
+    // work, then 0.5ms at speed 2 -> total 1.5ms.
+    sim.after(SimTime::msec(1), [&] { cpu.setSpeed(2.0); });
+    sim.runAll();
+    EXPECT_NEAR(done_at, 1.5, 0.01);
+}
+
+TEST(Cpu, BusyWorkAccumulates)
+{
+    Simulation sim;
+    ProcessorSharingCpu cpu(sim, 2, 1.0);
+    cpu.submit(1e6, [] {});
+    cpu.submit(3e6, [] {});
+    sim.runAll();
+    EXPECT_NEAR(cpu.busyWork(), 4e6, 1e3);
+}
+
+TEST(Stats, SampleSetBasicMoments)
+{
+    SampleSet s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(Stats, EmptySampleSetYieldsNan)
+{
+    SampleSet s;
+    EXPECT_TRUE(std::isnan(s.mean()));
+    EXPECT_TRUE(std::isnan(s.percentile(99)));
+}
+
+TEST(Stats, PercentileNearestRank)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+}
+
+TEST(Stats, PercentileAfterIncrementalAdds)
+{
+    SampleSet s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 10.0);
+    s.add(20.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 20.0);
+    EXPECT_DOUBLE_EQ(s.median(), 10.0);
+}
+
+TEST(Stats, ClearResets)
+{
+    SampleSet s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Stats, TimeSeriesBucketsByTime)
+{
+    TimeSeries ts(SimTime::sec(1));
+    ts.add(SimTime::msec(100), 1.0);
+    ts.add(SimTime::msec(900), 3.0);
+    ts.add(SimTime::msec(1500), 10.0);
+    EXPECT_EQ(ts.buckets(), 2u);
+    EXPECT_EQ(ts.bucketCount(0), 2u);
+    EXPECT_EQ(ts.bucketCount(1), 1u);
+    EXPECT_DOUBLE_EQ(ts.bucketMean(0), 2.0);
+    EXPECT_DOUBLE_EQ(ts.bucketPercentile(1, 99), 10.0);
+    EXPECT_EQ(ts.bucketStart(1), SimTime::sec(1));
+}
+
+TEST(Stats, TimeSeriesEmptyBucketsReportNan)
+{
+    TimeSeries ts(SimTime::sec(1));
+    ts.add(SimTime::sec(3), 1.0);
+    EXPECT_EQ(ts.buckets(), 4u);
+    EXPECT_TRUE(std::isnan(ts.bucketMean(1)));
+    EXPECT_EQ(ts.bucketCount(1), 0u);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+/**
+ * Property: with many concurrent identical jobs, processor sharing
+ * finishes them all at n/k times the solo duration.
+ */
+class CpuSharingProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CpuSharingProperty, EqualJobsFinishTogether)
+{
+    const int n = GetParam();
+    Simulation sim;
+    ProcessorSharingCpu cpu(sim, 4, 1.0);
+    std::vector<double> done;
+    for (int i = 0; i < n; ++i)
+        cpu.submit(4e6, [&] { done.push_back(sim.now().toMillis()); });
+    sim.runAll();
+    ASSERT_EQ(done.size(), static_cast<std::size_t>(n));
+    double expect = 4.0 * std::max(1.0, n / 4.0);
+    for (double d : done)
+        EXPECT_NEAR(d, expect, expect * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousLoads, CpuSharingProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 64));
+
+} // namespace
+} // namespace beehive::sim

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the support library (strings, RNG).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/rng.h"
+#include "support/strutil.h"
+
+namespace beehive {
+namespace {
+
+TEST(Strprintf, FormatsBasicTypes)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 7, "abc"), "x=7 y=abc");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Strprintf, HandlesLongOutput)
+{
+    std::string big(5000, 'z');
+    std::string out = strprintf("[%s]", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out.back(), ']');
+}
+
+TEST(SplitString, SplitsAndKeepsEmptyFields)
+{
+    auto parts = splitString("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitString, SingleFieldWhenNoSeparator)
+{
+    auto parts = splitString("hello", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StartsWith, Basics)
+{
+    EXPECT_TRUE(startsWith("beehive", "bee"));
+    EXPECT_TRUE(startsWith("bee", "bee"));
+    EXPECT_FALSE(startsWith("be", "bee"));
+    EXPECT_FALSE(startsWith("xbee", "bee"));
+}
+
+TEST(HumanBytes, PicksUnits)
+{
+    EXPECT_EQ(humanBytes(512), "512.0 B");
+    EXPECT_EQ(humanBytes(2048), "2.0 KB");
+    EXPECT_EQ(humanBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng r(7);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.uniformInt(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng r(7);
+    EXPECT_EQ(r.uniformInt(5, 5), 5);
+    EXPECT_EQ(r.uniformInt(5, 4), 5);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(42);
+    Rng child = a.fork();
+    Rng a2(42);
+    a2.fork();
+    // Parent continues deterministically after fork.
+    EXPECT_EQ(a.next(), a2.next());
+    // Child differs from parent stream.
+    Rng c2 = Rng(42);
+    EXPECT_NE(child.next(), c2.next());
+}
+
+} // namespace
+} // namespace beehive

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for workload generation and the SLO controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulation.h"
+#include "workload/clients.h"
+#include "workload/slo.h"
+
+namespace beehive::workload {
+namespace {
+
+using sim::SimTime;
+
+/** A sink that completes requests after a fixed service time. */
+RequestSink
+fixedLatencySink(sim::Simulation &sim, SimTime latency,
+                 int *count = nullptr)
+{
+    return [&sim, latency, count](int64_t,
+                                  std::function<void()> done) {
+        if (count)
+            ++*count;
+        sim.after(latency, std::move(done));
+    };
+}
+
+TEST(Recorder, RecordsLatencyAndThroughput)
+{
+    Recorder rec;
+    rec.record(SimTime::msec(100), SimTime::msec(150));
+    rec.record(SimTime::msec(200), SimTime::msec(280));
+    EXPECT_EQ(rec.completed(), 2u);
+    EXPECT_NEAR(rec.latencies().mean(), 0.065, 1e-9);
+    EXPECT_NEAR(rec.throughput(SimTime(), SimTime::sec(1)), 2.0,
+                1e-9);
+    EXPECT_NEAR(rec.windowPercentile(SimTime::msec(200),
+                                     SimTime::msec(300), 99),
+                0.08, 1e-9);
+}
+
+TEST(Recorder, WarmupCutoffSkipsEarlyCompletions)
+{
+    Recorder rec;
+    rec.setWarmupCutoff(SimTime::sec(1));
+    rec.record(SimTime::msec(100), SimTime::msec(200));
+    rec.record(SimTime::msec(900), SimTime::msec(1200));
+    EXPECT_EQ(rec.completed(), 1u);
+}
+
+TEST(ClosedLoop, ThroughputIsClientsOverLatency)
+{
+    sim::Simulation sim;
+    Recorder rec;
+    int issued = 0;
+    ClosedLoopClients clients(
+        sim, fixedLatencySink(sim, SimTime::msec(100), &issued), rec);
+    clients.start(4, SimTime());
+    sim.runUntil(SimTime::sec(10));
+    clients.stopAll();
+    sim.runUntil(SimTime::sec(11));
+    // 4 clients / 0.1 s = 40 rps.
+    EXPECT_NEAR(rec.throughput(SimTime::sec(1), SimTime::sec(10)),
+                40.0, 2.0);
+    EXPECT_NEAR(rec.latencies().mean(), 0.1, 1e-6);
+}
+
+TEST(ClosedLoop, WindowedClientsStopAtDeadline)
+{
+    sim::Simulation sim;
+    Recorder rec;
+    ClosedLoopClients clients(
+        sim, fixedLatencySink(sim, SimTime::msec(50)), rec);
+    clients.startWindow(2, SimTime::sec(1), SimTime::sec(3));
+    sim.runUntil(SimTime::sec(6));
+    EXPECT_EQ(clients.active(), 0);
+    // Active for ~2 s at 2/0.05 = 40 rps.
+    EXPECT_NEAR(static_cast<double>(rec.completed()), 80.0, 6.0);
+    // Nothing before the window.
+    EXPECT_EQ(rec.throughput(SimTime(), SimTime::sec(1)), 0.0);
+}
+
+TEST(ClosedLoop, ThinkTimeSlowsClients)
+{
+    sim::Simulation sim;
+    Recorder rec;
+    ClosedLoopClients clients(
+        sim, fixedLatencySink(sim, SimTime::msec(50)), rec);
+    clients.setThinkTime(SimTime::msec(150));
+    clients.start(1, SimTime());
+    sim.runUntil(SimTime::sec(10));
+    clients.stopAll();
+    sim.runUntil(SimTime::sec(11));
+    // One request per 200 ms.
+    EXPECT_NEAR(static_cast<double>(rec.completed()), 50.0, 3.0);
+}
+
+TEST(OpenLoop, PoissonRateIsRespected)
+{
+    sim::Simulation sim(7);
+    Recorder rec;
+    OpenLoopArrivals arrivals(
+        sim, fixedLatencySink(sim, SimTime::msec(10)), rec);
+    arrivals.run(200.0, SimTime(), SimTime::sec(30));
+    sim.runUntil(SimTime::sec(31));
+    double rate =
+        rec.throughput(SimTime::sec(1), SimTime::sec(30));
+    EXPECT_NEAR(rate, 200.0, 12.0);
+}
+
+TEST(OpenLoop, LatencyIndependentOfRateWhenUncontended)
+{
+    sim::Simulation sim(9);
+    Recorder rec;
+    OpenLoopArrivals arrivals(
+        sim, fixedLatencySink(sim, SimTime::msec(25)), rec);
+    arrivals.run(50.0, SimTime(), SimTime::sec(10));
+    sim.runUntil(SimTime::sec(11));
+    EXPECT_NEAR(rec.latencies().mean(), 0.025, 1e-6);
+    EXPECT_NEAR(rec.latencies().percentile(99), 0.025, 1e-6);
+}
+
+/** Drop @p n samples of fixed latency so each control window
+ * preceding a tick sees them (completion timestamped at `end`). */
+void
+feedEachWindow(sim::Simulation &sim, Recorder &rec, int windows,
+               SimTime latency)
+{
+    for (int s = 0; s < windows; ++s) {
+        sim.after(SimTime::msec(1000 * s + 400), [&, latency] {
+            for (int i = 0; i < 20; ++i)
+                rec.record(sim.now() - latency, sim.now());
+        });
+    }
+}
+
+TEST(SloController, RaisesRatioWhenSloViolated)
+{
+    sim::Simulation sim;
+    Recorder rec;
+    double ratio = -1.0;
+    SloController ctl(sim, rec, [&](double r) { ratio = r; });
+    ctl.setSlo(0.05);
+    ctl.setStep(0.2);
+    ctl.setPeriod(SimTime::sec(1));
+    feedEachWindow(sim, rec, 3, SimTime::msec(200));
+    ctl.run(SimTime::msec(500), SimTime::sec(10));
+    sim.runUntil(SimTime::sec(1));
+    EXPECT_NEAR(ctl.ratio(), 0.2, 1e-9);
+    sim.runUntil(SimTime::sec(2));
+    EXPECT_NEAR(ctl.ratio(), 0.4, 1e-9);
+    EXPECT_EQ(ratio, ctl.ratio());
+}
+
+TEST(SloController, LowersRatioWhenComfortable)
+{
+    sim::Simulation sim;
+    Recorder rec;
+    SloController ctl(sim, rec, [](double) {});
+    ctl.setSlo(0.5);
+    ctl.setStep(0.2);
+    ctl.setPeriod(SimTime::sec(1));
+    // Two violating windows raise the ratio...
+    feedEachWindow(sim, rec, 2, SimTime::sec(1));
+    ctl.run(SimTime::msec(500), SimTime::sec(30));
+    sim.runUntil(SimTime::msec(2200));
+    double peak = ctl.ratio();
+    EXPECT_GT(peak, 0.0);
+    // ...then fast windows pull it back down.
+    for (int s = 2; s < 8; ++s) {
+        sim.after(SimTime::msec(1000 * s + 400), [&] {
+            for (int i = 0; i < 20; ++i)
+                rec.record(sim.now() - SimTime::msec(5), sim.now());
+        });
+    }
+    sim.runUntil(SimTime::sec(8));
+    EXPECT_LT(ctl.ratio(), peak);
+}
+
+TEST(SloController, ClampsToUnitInterval)
+{
+    sim::Simulation sim;
+    Recorder rec;
+    SloController ctl(sim, rec, [](double) {});
+    ctl.setSlo(0.001);
+    ctl.setStep(0.5);
+    ctl.setPeriod(SimTime::sec(1));
+    feedEachWindow(sim, rec, 10, SimTime::sec(1));
+    ctl.run(SimTime::msec(500), SimTime::sec(20));
+    sim.runUntil(SimTime::sec(12));
+    EXPECT_LE(ctl.ratio(), 1.0);
+    EXPECT_NEAR(ctl.ratio(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace beehive::workload
