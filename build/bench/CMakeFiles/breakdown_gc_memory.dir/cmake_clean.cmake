@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breakdown_gc_memory.dir/breakdown_gc_memory.cc.o"
+  "CMakeFiles/breakdown_gc_memory.dir/breakdown_gc_memory.cc.o.d"
+  "breakdown_gc_memory"
+  "breakdown_gc_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breakdown_gc_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combo_scaling.dir/combo_scaling.cc.o"
+  "CMakeFiles/combo_scaling.dir/combo_scaling.cc.o.d"
+  "combo_scaling"
+  "combo_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combo_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_az_overhead.dir/cross_az_overhead.cc.o"
+  "CMakeFiles/cross_az_overhead.dir/cross_az_overhead.cc.o.d"
+  "cross_az_overhead"
+  "cross_az_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_az_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_vanilla_latency.dir/fig02_vanilla_latency.cc.o"
+  "CMakeFiles/fig02_vanilla_latency.dir/fig02_vanilla_latency.cc.o.d"
+  "fig02_vanilla_latency"
+  "fig02_vanilla_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_vanilla_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_burst_reduction.dir/fig07_burst_reduction.cc.o"
+  "CMakeFiles/fig07_burst_reduction.dir/fig07_burst_reduction.cc.o.d"
+  "fig07_burst_reduction"
+  "fig07_burst_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_burst_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_burst_ratio_cost.dir/fig09_burst_ratio_cost.cc.o"
+  "CMakeFiles/fig09_burst_ratio_cost.dir/fig09_burst_ratio_cost.cc.o.d"
+  "fig09_burst_ratio_cost"
+  "fig09_burst_ratio_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_burst_ratio_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

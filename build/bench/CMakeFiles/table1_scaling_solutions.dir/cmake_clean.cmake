@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_scaling_solutions.dir/table1_scaling_solutions.cc.o"
+  "CMakeFiles/table1_scaling_solutions.dir/table1_scaling_solutions.cc.o.d"
+  "table1_scaling_solutions"
+  "table1_scaling_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_scaling_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

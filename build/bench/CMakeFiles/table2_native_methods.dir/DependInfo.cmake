@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_native_methods.cc" "bench/CMakeFiles/table2_native_methods.dir/table2_native_methods.cc.o" "gcc" "bench/CMakeFiles/table2_native_methods.dir/table2_native_methods.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/bh_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/bh_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/bh_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bh_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bh_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/bh_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bh_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

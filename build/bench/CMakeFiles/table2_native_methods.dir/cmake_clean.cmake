@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_native_methods.dir/table2_native_methods.cc.o"
+  "CMakeFiles/table2_native_methods.dir/table2_native_methods.cc.o.d"
+  "table2_native_methods"
+  "table2_native_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_native_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_slo_min_latency.dir/table4_slo_min_latency.cc.o"
+  "CMakeFiles/table4_slo_min_latency.dir/table4_slo_min_latency.cc.o.d"
+  "table4_slo_min_latency"
+  "table4_slo_min_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_slo_min_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

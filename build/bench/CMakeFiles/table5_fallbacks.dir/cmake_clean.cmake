@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fallbacks.dir/table5_fallbacks.cc.o"
+  "CMakeFiles/table5_fallbacks.dir/table5_fallbacks.cc.o.d"
+  "table5_fallbacks"
+  "table5_fallbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fallbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

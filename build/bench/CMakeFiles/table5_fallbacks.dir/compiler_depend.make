@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table5_fallbacks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_scaling.dir/burst_scaling.cpp.o"
+  "CMakeFiles/burst_scaling.dir/burst_scaling.cpp.o.d"
+  "burst_scaling"
+  "burst_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_webapp.dir/custom_webapp.cpp.o"
+  "CMakeFiles/custom_webapp.dir/custom_webapp.cpp.o.d"
+  "custom_webapp"
+  "custom_webapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_webapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

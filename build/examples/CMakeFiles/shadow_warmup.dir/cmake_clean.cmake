@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_warmup.dir/shadow_warmup.cpp.o"
+  "CMakeFiles/shadow_warmup.dir/shadow_warmup.cpp.o.d"
+  "shadow_warmup"
+  "shadow_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("net")
+subdirs("db")
+subdirs("proxy")
+subdirs("vm")
+subdirs("gc")
+subdirs("cloud")
+subdirs("core")
+subdirs("apps")
+subdirs("workload")
+subdirs("harness")

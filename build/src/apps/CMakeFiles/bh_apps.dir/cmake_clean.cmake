@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_apps.dir/blog.cc.o"
+  "CMakeFiles/bh_apps.dir/blog.cc.o.d"
+  "CMakeFiles/bh_apps.dir/framework.cc.o"
+  "CMakeFiles/bh_apps.dir/framework.cc.o.d"
+  "CMakeFiles/bh_apps.dir/pybbs.cc.o"
+  "CMakeFiles/bh_apps.dir/pybbs.cc.o.d"
+  "CMakeFiles/bh_apps.dir/thumbnail.cc.o"
+  "CMakeFiles/bh_apps.dir/thumbnail.cc.o.d"
+  "libbh_apps.a"
+  "libbh_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

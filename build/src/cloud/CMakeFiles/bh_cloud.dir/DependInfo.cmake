@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/billing.cc" "src/cloud/CMakeFiles/bh_cloud.dir/billing.cc.o" "gcc" "src/cloud/CMakeFiles/bh_cloud.dir/billing.cc.o.d"
+  "/root/repo/src/cloud/faas.cc" "src/cloud/CMakeFiles/bh_cloud.dir/faas.cc.o" "gcc" "src/cloud/CMakeFiles/bh_cloud.dir/faas.cc.o.d"
+  "/root/repo/src/cloud/instance.cc" "src/cloud/CMakeFiles/bh_cloud.dir/instance.cc.o" "gcc" "src/cloud/CMakeFiles/bh_cloud.dir/instance.cc.o.d"
+  "/root/repo/src/cloud/scaling.cc" "src/cloud/CMakeFiles/bh_cloud.dir/scaling.cc.o" "gcc" "src/cloud/CMakeFiles/bh_cloud.dir/scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/bh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bh_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_cloud.dir/billing.cc.o"
+  "CMakeFiles/bh_cloud.dir/billing.cc.o.d"
+  "CMakeFiles/bh_cloud.dir/faas.cc.o"
+  "CMakeFiles/bh_cloud.dir/faas.cc.o.d"
+  "CMakeFiles/bh_cloud.dir/instance.cc.o"
+  "CMakeFiles/bh_cloud.dir/instance.cc.o.d"
+  "CMakeFiles/bh_cloud.dir/scaling.cc.o"
+  "CMakeFiles/bh_cloud.dir/scaling.cc.o.d"
+  "libbh_cloud.a"
+  "libbh_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

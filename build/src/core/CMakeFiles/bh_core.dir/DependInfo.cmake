@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/closure.cc" "src/core/CMakeFiles/bh_core.dir/closure.cc.o" "gcc" "src/core/CMakeFiles/bh_core.dir/closure.cc.o.d"
+  "/root/repo/src/core/function.cc" "src/core/CMakeFiles/bh_core.dir/function.cc.o" "gcc" "src/core/CMakeFiles/bh_core.dir/function.cc.o.d"
+  "/root/repo/src/core/mapping.cc" "src/core/CMakeFiles/bh_core.dir/mapping.cc.o" "gcc" "src/core/CMakeFiles/bh_core.dir/mapping.cc.o.d"
+  "/root/repo/src/core/offload.cc" "src/core/CMakeFiles/bh_core.dir/offload.cc.o" "gcc" "src/core/CMakeFiles/bh_core.dir/offload.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/core/CMakeFiles/bh_core.dir/server.cc.o" "gcc" "src/core/CMakeFiles/bh_core.dir/server.cc.o.d"
+  "/root/repo/src/core/sync.cc" "src/core/CMakeFiles/bh_core.dir/sync.cc.o" "gcc" "src/core/CMakeFiles/bh_core.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/bh_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/bh_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bh_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/bh_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/bh_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bh_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_core.dir/closure.cc.o"
+  "CMakeFiles/bh_core.dir/closure.cc.o.d"
+  "CMakeFiles/bh_core.dir/function.cc.o"
+  "CMakeFiles/bh_core.dir/function.cc.o.d"
+  "CMakeFiles/bh_core.dir/mapping.cc.o"
+  "CMakeFiles/bh_core.dir/mapping.cc.o.d"
+  "CMakeFiles/bh_core.dir/offload.cc.o"
+  "CMakeFiles/bh_core.dir/offload.cc.o.d"
+  "CMakeFiles/bh_core.dir/server.cc.o"
+  "CMakeFiles/bh_core.dir/server.cc.o.d"
+  "CMakeFiles/bh_core.dir/sync.cc.o"
+  "CMakeFiles/bh_core.dir/sync.cc.o.d"
+  "libbh_core.a"
+  "libbh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_db.dir/record_store.cc.o"
+  "CMakeFiles/bh_db.dir/record_store.cc.o.d"
+  "libbh_db.a"
+  "libbh_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

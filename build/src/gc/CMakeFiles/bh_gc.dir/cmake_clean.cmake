@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_gc.dir/collector.cc.o"
+  "CMakeFiles/bh_gc.dir/collector.cc.o.d"
+  "libbh_gc.a"
+  "libbh_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_harness.dir/burst.cc.o"
+  "CMakeFiles/bh_harness.dir/burst.cc.o.d"
+  "CMakeFiles/bh_harness.dir/report.cc.o"
+  "CMakeFiles/bh_harness.dir/report.cc.o.d"
+  "CMakeFiles/bh_harness.dir/testbed.cc.o"
+  "CMakeFiles/bh_harness.dir/testbed.cc.o.d"
+  "CMakeFiles/bh_harness.dir/throughput.cc.o"
+  "CMakeFiles/bh_harness.dir/throughput.cc.o.d"
+  "libbh_harness.a"
+  "libbh_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/connection_proxy.cc" "src/proxy/CMakeFiles/bh_proxy.dir/connection_proxy.cc.o" "gcc" "src/proxy/CMakeFiles/bh_proxy.dir/connection_proxy.cc.o.d"
+  "/root/repo/src/proxy/shadow_session.cc" "src/proxy/CMakeFiles/bh_proxy.dir/shadow_session.cc.o" "gcc" "src/proxy/CMakeFiles/bh_proxy.dir/shadow_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/bh_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bh_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

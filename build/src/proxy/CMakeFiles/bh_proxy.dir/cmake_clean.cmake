@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_proxy.dir/connection_proxy.cc.o"
+  "CMakeFiles/bh_proxy.dir/connection_proxy.cc.o.d"
+  "CMakeFiles/bh_proxy.dir/shadow_session.cc.o"
+  "CMakeFiles/bh_proxy.dir/shadow_session.cc.o.d"
+  "libbh_proxy.a"
+  "libbh_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

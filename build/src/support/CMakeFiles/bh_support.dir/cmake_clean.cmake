@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_support.dir/logging.cc.o"
+  "CMakeFiles/bh_support.dir/logging.cc.o.d"
+  "CMakeFiles/bh_support.dir/rng.cc.o"
+  "CMakeFiles/bh_support.dir/rng.cc.o.d"
+  "CMakeFiles/bh_support.dir/strutil.cc.o"
+  "CMakeFiles/bh_support.dir/strutil.cc.o.d"
+  "libbh_support.a"
+  "libbh_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/code_builder.cc" "src/vm/CMakeFiles/bh_vm.dir/code_builder.cc.o" "gcc" "src/vm/CMakeFiles/bh_vm.dir/code_builder.cc.o.d"
+  "/root/repo/src/vm/context.cc" "src/vm/CMakeFiles/bh_vm.dir/context.cc.o" "gcc" "src/vm/CMakeFiles/bh_vm.dir/context.cc.o.d"
+  "/root/repo/src/vm/heap.cc" "src/vm/CMakeFiles/bh_vm.dir/heap.cc.o" "gcc" "src/vm/CMakeFiles/bh_vm.dir/heap.cc.o.d"
+  "/root/repo/src/vm/interpreter.cc" "src/vm/CMakeFiles/bh_vm.dir/interpreter.cc.o" "gcc" "src/vm/CMakeFiles/bh_vm.dir/interpreter.cc.o.d"
+  "/root/repo/src/vm/natives.cc" "src/vm/CMakeFiles/bh_vm.dir/natives.cc.o" "gcc" "src/vm/CMakeFiles/bh_vm.dir/natives.cc.o.d"
+  "/root/repo/src/vm/profiler.cc" "src/vm/CMakeFiles/bh_vm.dir/profiler.cc.o" "gcc" "src/vm/CMakeFiles/bh_vm.dir/profiler.cc.o.d"
+  "/root/repo/src/vm/program.cc" "src/vm/CMakeFiles/bh_vm.dir/program.cc.o" "gcc" "src/vm/CMakeFiles/bh_vm.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bh_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

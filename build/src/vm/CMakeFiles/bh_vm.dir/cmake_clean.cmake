@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_vm.dir/code_builder.cc.o"
+  "CMakeFiles/bh_vm.dir/code_builder.cc.o.d"
+  "CMakeFiles/bh_vm.dir/context.cc.o"
+  "CMakeFiles/bh_vm.dir/context.cc.o.d"
+  "CMakeFiles/bh_vm.dir/heap.cc.o"
+  "CMakeFiles/bh_vm.dir/heap.cc.o.d"
+  "CMakeFiles/bh_vm.dir/interpreter.cc.o"
+  "CMakeFiles/bh_vm.dir/interpreter.cc.o.d"
+  "CMakeFiles/bh_vm.dir/natives.cc.o"
+  "CMakeFiles/bh_vm.dir/natives.cc.o.d"
+  "CMakeFiles/bh_vm.dir/profiler.cc.o"
+  "CMakeFiles/bh_vm.dir/profiler.cc.o.d"
+  "CMakeFiles/bh_vm.dir/program.cc.o"
+  "CMakeFiles/bh_vm.dir/program.cc.o.d"
+  "libbh_vm.a"
+  "libbh_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/clients.cc" "src/workload/CMakeFiles/bh_workload.dir/clients.cc.o" "gcc" "src/workload/CMakeFiles/bh_workload.dir/clients.cc.o.d"
+  "/root/repo/src/workload/slo.cc" "src/workload/CMakeFiles/bh_workload.dir/slo.cc.o" "gcc" "src/workload/CMakeFiles/bh_workload.dir/slo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bh_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_workload.dir/clients.cc.o"
+  "CMakeFiles/bh_workload.dir/clients.cc.o.d"
+  "CMakeFiles/bh_workload.dir/slo.cc.o"
+  "CMakeFiles/bh_workload.dir/slo.cc.o.d"
+  "libbh_workload.a"
+  "libbh_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
