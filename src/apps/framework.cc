@@ -43,6 +43,11 @@ Framework::defineKlasses()
     thread_k_ = add("java/lang/Thread", 2400);
     socket_k_ = add("java/net/SocketImpl", 3200, {"token"});
     method_k_ = add("java/lang/reflect/Method", 4100, {"metadata"});
+    // Packageable is a static property of these klasses (Section
+    // 3.2); installOnServer registers the marshal hooks, but the
+    // offloadability analysis must see the flag without a server.
+    program_.klass(socket_k_).packageable = true;
+    program_.klass(method_k_).packageable = true;
     config_k_ = add("twig/Config", 900,
                     {"next", "payload", "value"});
     datasource_k_ = add("twig/DataSource", 5400, {},

@@ -13,6 +13,14 @@
 
 namespace beehive::core {
 
+/** What to do with bytecode verifier findings at Program load. */
+enum class VerifyMode : uint8_t
+{
+    Off,    //!< trust the program (seed behaviour)
+    Warn,   //!< log every diagnostic, keep going
+    Strict, //!< any Error-severity diagnostic is fatal
+};
+
 /** Tunables of the offloading framework. */
 struct BeeHiveConfig
 {
@@ -95,6 +103,23 @@ struct BeeHiveConfig
 
     /** Enable proxy-based connection offload (ablation). */
     bool proxy_enabled = true;
+
+    /**
+     * Run the bytecode verifier over the whole Program when the
+     * server constructs its VM. Warn logs diagnostics through
+     * support/logging; Strict turns any Error-severity finding into
+     * a fatal load failure (a corrupt Program must not reach the
+     * interpreter).
+     */
+    VerifyMode verify_on_load = VerifyMode::Warn;
+
+    /**
+     * Refuse OffloadManager::enableRoot for roots the static
+     * offloadability analysis classifies local-only. Off by default:
+     * classification is always computed and logged/counted, but
+     * scheduling behaviour only changes when this is set.
+     */
+    bool refuse_local_only_roots = false;
 };
 
 } // namespace beehive::core

@@ -65,9 +65,43 @@ void
 OffloadManager::enableRoot(vm::MethodId root,
                            std::vector<Value> sample_args)
 {
+    const vm::Program &program = server_.program();
+    vm::RootReport report =
+        vm::OffloadAnalysis(program).classifyRoot(root);
+    inform("offload-analysis: %s",
+           toString(report, program).c_str());
+    switch (report.klass) {
+      case vm::OffloadClass::OffloadSafe:
+        ++stats_.roots_offload_safe;
+        break;
+      case vm::OffloadClass::NeedsFallback:
+        ++stats_.roots_needs_fallback;
+        break;
+      case vm::OffloadClass::LocalOnly:
+        ++stats_.roots_local_only;
+        break;
+    }
+
     RootState &state = roots_[root];
+    state.klass = report.klass;
+    if (report.klass == vm::OffloadClass::LocalOnly &&
+        server_.config().refuse_local_only_roots) {
+        ++stats_.roots_refused;
+        warn("offload-analysis: refusing local-only root %s",
+             program.qualifiedName(root).c_str());
+        state.enabled = false;
+        return;
+    }
     state.enabled = true;
     state.sample_args = std::move(sample_args);
+}
+
+vm::OffloadClass
+OffloadManager::classification(vm::MethodId root) const
+{
+    auto it = roots_.find(root);
+    bh_assert(it != roots_.end(), "classification of unknown root");
+    return it->second.klass;
 }
 
 bool

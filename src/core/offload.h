@@ -34,6 +34,7 @@
 #include "core/closure.h"
 #include "core/function.h"
 #include "core/server.h"
+#include "vm/offload_analysis.h"
 
 namespace beehive::core {
 
@@ -45,6 +46,13 @@ struct OffloadStats
     uint64_t shadows = 0;       //!< shadow executions launched
     uint64_t recoveries = 0;    //!< failure recoveries performed
     uint64_t resumed_from_snapshot = 0;
+    /** @name Static offloadability of enabled roots (analysis) */
+    /// @{
+    uint64_t roots_offload_safe = 0;
+    uint64_t roots_needs_fallback = 0;
+    uint64_t roots_local_only = 0;
+    uint64_t roots_refused = 0; //!< local-only roots refused
+    /// @}
 };
 
 /** Routes requests between the server and FaaS functions. */
@@ -74,12 +82,18 @@ class OffloadManager
     /**
      * Declare @p root offloadable and remember representative
      * arguments for closure construction. Typically fed from
-     * Profiler::selectRoots().
+     * Profiler::selectRoots(). Runs the static offloadability
+     * analysis on @p root: the classification is logged and
+     * counted in stats(); with config.refuse_local_only_roots a
+     * statically local-only root stays disabled.
      */
     void enableRoot(vm::MethodId root,
                     std::vector<vm::Value> sample_args);
 
     bool isEnabled(vm::MethodId root) const;
+
+    /** Static classification recorded when @p root was enabled. */
+    vm::OffloadClass classification(vm::MethodId root) const;
 
     /**
      * Main entry: serve one request, locally or offloaded per the
@@ -117,6 +131,7 @@ class OffloadManager
     {
         bool enabled = false;
         bool closure_built = false;
+        vm::OffloadClass klass = vm::OffloadClass::OffloadSafe;
         Closure closure;
         std::vector<vm::Value> sample_args;
     };

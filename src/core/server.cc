@@ -2,6 +2,7 @@
 
 #include "support/logging.h"
 #include "support/strutil.h"
+#include "vm/verifier.h"
 
 namespace beehive::core {
 
@@ -264,6 +265,24 @@ BeeHiveServer::BeeHiveServer(sim::Simulation &sim, net::Network &net,
                                            vm_cfg);
     ctx_->loadAll();
     ctx_->setProfiler(&profiler_);
+
+    // Verify-on-load (strict = reject, warn = log). The verifier is
+    // the load-time gate: bytecode it flags as Error can corrupt
+    // interpreter frames mid-request.
+    if (config_.verify_on_load != VerifyMode::Off) {
+        vm::VerifyResult vr = vm::Verifier(program_).verifyAll();
+        for (const vm::Diagnostic &d : vr.diagnostics)
+            warn("verifier: %s", toString(d, program_).c_str());
+        if (!vr.ok()) {
+            if (config_.verify_on_load == VerifyMode::Strict)
+                fatal("verify_on_load=strict: program rejected with "
+                      "%zu error(s)",
+                      vr.errorCount());
+            warn("verifier found %zu error(s); continuing "
+                 "(verify_on_load=warn)",
+                 vr.errorCount());
+        }
+    }
 
     sync_.registerServer(ctx_.get());
 

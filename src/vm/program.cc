@@ -147,6 +147,17 @@ Program::fieldCount(KlassId id) const
     return count;
 }
 
+std::string
+Program::qualifiedName(MethodId id) const
+{
+    if (id >= methods_.size())
+        return "<bad-method>";
+    const Method &m = methods_[id];
+    if (m.owner >= klasses_.size())
+        return m.name;
+    return klasses_[m.owner].name + "." + m.name;
+}
+
 std::vector<MethodId>
 Program::methodsWithAnnotation(const std::string &name) const
 {

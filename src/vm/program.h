@@ -170,6 +170,11 @@ class Program
 
     std::size_t klassCount() const { return klasses_.size(); }
     std::size_t methodCount() const { return methods_.size(); }
+    std::size_t stringCount() const { return strings_.size(); }
+    std::size_t nameCount() const { return names_.size(); }
+
+    /** "Klass.method" for diagnostics; tolerates bad ids. */
+    std::string qualifiedName(MethodId id) const;
 
     /** All method ids carrying the given annotation. */
     std::vector<MethodId>

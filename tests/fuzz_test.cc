@@ -10,6 +10,15 @@
  *   2. GC transparency: a VM with a deliberately tiny allocation
  *      space -- forcing many copying collections mid-program --
  *      produces exactly the same result as one that never collects.
+ *
+ * A second generator emits *raw instruction streams* -- plausible
+ * chunks spliced with outright garbage -- and uses the bytecode
+ * verifier (strict typing) as a crash oracle:
+ *
+ *   3. Any program the verifier accepts runs in the interpreter
+ *      without crashing (the interpreter's asserts abort the
+ *      process, so a soundness hole fails the suite loudly).
+ *      Rejected programs are never executed.
  */
 
 #include <gtest/gtest.h>
@@ -21,6 +30,7 @@
 #include "vm/heap.h"
 #include "vm/interpreter.h"
 #include "vm/program.h"
+#include "vm/verifier.h"
 
 namespace beehive::vm {
 namespace {
@@ -187,6 +197,202 @@ TEST_P(FuzzProperty, DeterministicAndGcTransparent)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProperty,
                          ::testing::Range<uint64_t>(1, 33));
+
+// -------------------------------------------------------------------
+// Verifier as crash oracle over raw instruction streams.
+// -------------------------------------------------------------------
+
+constexpr uint16_t kStreamLocals = 4;
+
+/**
+ * Append a random instruction stream to @p code: mostly well-typed
+ * chunks (each stack-neutral), occasionally raw garbage with wild
+ * operands. @p node_k has 2 fields and 2 statics; @p str0 is a
+ * valid string-pool index.
+ */
+void
+emitRandomStream(Rng &rng, std::vector<Instr> &code, KlassId node_k,
+                 uint32_t str0)
+{
+    auto ins = [&](Op op, int64_t a = 0, int64_t b = 0) {
+        code.push_back(Instr{op, a, b});
+    };
+
+    const int chunks = static_cast<int>(rng.uniformInt(2, 10));
+    for (int c = 0; c < chunks; ++c) {
+        if (rng.chance(0.12)) {
+            // Garbage: any opcode, wild operands. Most of these make
+            // the verifier reject the whole program.
+            int n = static_cast<int>(rng.uniformInt(1, 3));
+            for (int i = 0; i < n; ++i)
+                ins(static_cast<Op>(
+                        rng.uniformInt(0, static_cast<int64_t>(
+                                              Op::Compute))),
+                    rng.uniformInt(-3, 40), rng.uniformInt(-2, 8));
+            continue;
+        }
+        switch (rng.uniformInt(0, 9)) {
+          case 0: // int into a local
+            ins(Op::PushI, rng.uniformInt(-99, 99));
+            ins(Op::Store, rng.uniformInt(0, kStreamLocals - 1));
+            break;
+          case 1: // arithmetic over locals of unknown kind
+            ins(Op::Load, rng.uniformInt(0, kStreamLocals - 1));
+            ins(Op::Load, rng.uniformInt(0, kStreamLocals - 1));
+            ins(rng.chance(0.5) ? Op::Add
+                                : (rng.chance(0.5) ? Op::Mul
+                                                   : Op::Div));
+            ins(Op::Store, rng.uniformInt(0, kStreamLocals - 1));
+            break;
+          case 2: // field round trip on a fresh object
+            ins(Op::New, node_k);
+            ins(Op::PushI, rng.uniformInt(0, 9));
+            ins(Op::PutField, rng.uniformInt(0, 1));
+            break;
+          case 3: // field load
+            ins(Op::New, node_k);
+            ins(Op::GetField, rng.uniformInt(0, 1));
+            ins(Op::Pop);
+            break;
+          case 4: { // array element access with provable bounds
+            int64_t len = rng.uniformInt(1, 16);
+            ins(Op::PushI, len);
+            ins(Op::NewArr, node_k);
+            ins(Op::PushI, rng.uniformInt(0, len - 1));
+            ins(Op::ALoad);
+            ins(Op::Pop);
+            break;
+          }
+          case 5: // bytes + length
+            ins(Op::NewBytes, str0);
+            ins(Op::BytesLen);
+            ins(Op::Store, rng.uniformInt(0, kStreamLocals - 1));
+            break;
+          case 6: // statics traffic
+            ins(Op::PushI, rng.uniformInt(0, 99));
+            ins(Op::PutStatic, node_k, rng.uniformInt(0, 1));
+            ins(Op::GetStatic, node_k, rng.uniformInt(0, 1));
+            ins(Op::Pop);
+            break;
+          case 7: // balanced monitor pair (depth-wise)
+            ins(Op::New, node_k);
+            ins(Op::MonitorEnter);
+            ins(Op::New, node_k);
+            ins(Op::MonitorExit);
+            break;
+          case 8: { // bounded countdown loop (backward jump, merge)
+            int64_t s = rng.uniformInt(0, kStreamLocals - 1);
+            ins(Op::PushI, rng.uniformInt(1, 5));
+            ins(Op::Store, s);
+            int64_t top = static_cast<int64_t>(code.size());
+            ins(Op::Load, s);
+            ins(Op::Jz, top + 6); // -> first instr after the Jmp
+            ins(Op::Load, s);
+            ins(Op::PushI, 1);
+            ins(Op::Sub);
+            ins(Op::Store, s);
+            code.push_back(Instr{Op::Jmp, top, 0});
+            break;
+          }
+          default: // modelled compute + stack shuffling
+            ins(Op::PushI, rng.uniformInt(0, 5));
+            ins(Op::Dup);
+            ins(Op::Swap);
+            ins(Op::Pop);
+            ins(Op::Pop);
+            ins(Op::Compute, rng.uniformInt(0, 200));
+            break;
+        }
+    }
+
+    if (rng.chance(0.85)) {
+        ins(Op::PushI, 7);
+        ins(Op::Ret);
+    }
+    // else: fall off the end -- a rejection the oracle must catch.
+}
+
+/**
+ * Run an oracle-accepted program under a budget. Nontermination and
+ * heap exhaustion are allowed (the oracle only promises "no crash"),
+ * so the run is abandoned once the budget is spent.
+ */
+void
+executeBudgeted(Program &program, MethodId entry, KlassId node_k)
+{
+    NativeRegistry natives;
+    Heap heap(program, 1 << 16, 1 << 20);
+    VmConfig cfg;
+    cfg.quantum_ns = 2000.0; // ~1k instructions per quantum
+    cfg.bytes_klass = node_k;
+    cfg.array_klass = node_k;
+    VmContext ctx(program, natives, heap, cfg);
+    ctx.loadAll();
+    gc::SemiSpaceCollector collector(heap);
+    Interpreter interp(ctx);
+    collector.addValueRoots(
+        [&](const auto &visit) { interp.forEachRoot(visit); });
+
+    interp.start(entry, {});
+    int heap_fulls = 0;
+    for (int budget = 0; budget < 64; ++budget) {
+        Suspend s = interp.run();
+        switch (s.kind) {
+          case Suspend::Kind::Done:
+            return;
+          case Suspend::Kind::Quantum:
+            continue;
+          case Suspend::Kind::HeapFull:
+            if (++heap_fulls > 8)
+                return; // live set does not fit; not a crash
+            collector.collect();
+            continue;
+          default:
+            ADD_FAILURE() << "verified program suspended with "
+                          << static_cast<int>(s.kind);
+            return;
+        }
+    }
+}
+
+TEST(VerifierOracle, AcceptedStreamsExecuteWithoutCrashing)
+{
+    int accepted = 0;
+    int rejected = 0;
+    constexpr uint64_t kPrograms = 10000;
+
+    for (uint64_t seed = 1; seed <= kPrograms; ++seed) {
+        Rng rng(seed * 0x9E3779B97F4A7C15ull);
+        Program program;
+        Klass node;
+        node.name = "Node";
+        node.fields = {"next", "payload"};
+        node.statics = {"a", "b"};
+        KlassId node_k = program.addKlass(node);
+        uint32_t str0 = program.internString("fuzz");
+
+        Method m;
+        m.name = "stream";
+        m.num_locals = kStreamLocals;
+        emitRandomStream(rng, m.code, node_k, str0);
+        MethodId entry = program.addMethod(node_k, m);
+
+        VerifyOptions options;
+        options.strict_types = true;
+        VerifyResult result =
+            Verifier(program, options).verifyAll();
+        if (!result.ok()) {
+            ++rejected; // rejected programs are never executed
+            continue;
+        }
+        ++accepted;
+        executeBudgeted(program, entry, node_k);
+    }
+
+    // The oracle is only meaningful when both populations are big.
+    EXPECT_GT(accepted, 1000) << "generator too hostile";
+    EXPECT_GT(rejected, 1000) << "generator too tame";
+}
 
 } // namespace
 } // namespace beehive::vm

@@ -188,6 +188,12 @@ TEST(BurstTest, BeeHiveStabilizesFasterThanFargate)
     EXPECT_LT(beehive.stabilization_seconds,
               fargate.stabilization_seconds / 3.0);
     EXPECT_GT(beehive.offload.shadows, 0u);
+    // enableRoot ran the static offloadability analysis: blog's
+    // handler synchronizes on shared cache state, so the root is
+    // classified needs-fallback (and never local-only).
+    EXPECT_EQ(beehive.offload.roots_needs_fallback, 1u);
+    EXPECT_EQ(beehive.offload.roots_local_only, 0u);
+    EXPECT_EQ(beehive.offload.roots_refused, 0u);
 }
 
 TEST(BurstTest, WarmFaasStabilizesSubSecondish)

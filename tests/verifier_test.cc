@@ -1,0 +1,577 @@
+/**
+ * @file
+ * Bytecode-verifier and offloadability-analysis unit tests.
+ *
+ * One focused failing program per diagnostic class (proving each
+ * check is reachable), pass-clean verification of every built-in
+ * workload program, and classification tests for the offload
+ * analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/blog.h"
+#include "apps/framework.h"
+#include "apps/pybbs.h"
+#include "apps/thumbnail.h"
+#include "vm/offload_analysis.h"
+#include "vm/verifier.h"
+
+namespace beehive::vm {
+namespace {
+
+/** A tiny program with one klass to hang hand-written methods on. */
+struct TestProgram
+{
+    Program p;
+    KlassId k;
+
+    TestProgram()
+    {
+        Klass kl;
+        kl.name = "T";
+        kl.fields = {"f0", "f1"};
+        kl.statics = {"s0", "s1"};
+        k = p.addKlass(kl);
+    }
+
+    MethodId
+    method(const std::string &name, std::vector<Instr> code,
+           uint16_t num_args = 0, uint16_t num_locals = 0)
+    {
+        Method m;
+        m.name = name;
+        m.num_args = num_args;
+        m.num_locals = std::max(num_args, num_locals);
+        m.code = std::move(code);
+        return p.addMethod(k, m);
+    }
+
+    VerifyResult
+    verify(MethodId id, VerifyOptions options = {})
+    {
+        VerifyResult out;
+        Verifier(p, options).verifyMethod(id, out);
+        return out;
+    }
+};
+
+bool
+hasCode(const VerifyResult &r, DiagCode code)
+{
+    for (const Diagnostic &d : r.diagnostics) {
+        if (d.code == code)
+            return true;
+    }
+    return false;
+}
+
+Instr
+ins(Op op, int64_t a = 0, int64_t b = 0)
+{
+    return Instr{op, a, b};
+}
+
+// ---- One failing program per diagnostic class ---------------------
+
+TEST(VerifierTest, BadJumpTarget)
+{
+    TestProgram t;
+    MethodId m = t.method("m", {ins(Op::Jmp, 99), ins(Op::Ret)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadJumpTarget));
+}
+
+TEST(VerifierTest, StackUnderflow)
+{
+    TestProgram t;
+    MethodId m = t.method("m", {ins(Op::Pop), ins(Op::Ret)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::StackUnderflow));
+}
+
+TEST(VerifierTest, MergeDepthMismatch)
+{
+    // One predecessor reaches pc 4 with depth 1, the other with 2.
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::PushI, 1),     // 0
+                              ins(Op::Jz, 4),        // 1: depth 0 ->
+                              ins(Op::PushI, 2),     // 2
+                              ins(Op::PushI, 3),     // 3: depth 2 ->
+                              ins(Op::Ret),          // 4: join
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::MergeMismatch));
+}
+
+TEST(VerifierTest, BadLocalSlot)
+{
+    TestProgram t;
+    MethodId m = t.method("m", {ins(Op::Load, 5), ins(Op::Ret)},
+                          /*num_args=*/0, /*num_locals=*/2);
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadLocalSlot));
+}
+
+TEST(VerifierTest, BadKlassId)
+{
+    TestProgram t;
+    MethodId m = t.method("m", {ins(Op::New, 99), ins(Op::Ret)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadKlassId));
+}
+
+TEST(VerifierTest, BadMethodIdOnCall)
+{
+    TestProgram t;
+    MethodId m = t.method("m", {ins(Op::Call, 99), ins(Op::Ret)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadMethodId));
+}
+
+TEST(VerifierTest, CallNativeToBytecodeMethod)
+{
+    TestProgram t;
+    MethodId callee = t.method("callee", {ins(Op::Ret)});
+    MethodId m = t.method(
+        "m", {ins(Op::CallNative, callee), ins(Op::Ret)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadMethodId));
+}
+
+TEST(VerifierTest, BadNameId)
+{
+    TestProgram t;
+    MethodId m = t.method(
+        "m",
+        {ins(Op::PushNil), ins(Op::CallVirt, 42, 1), ins(Op::Ret)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadNameId));
+}
+
+TEST(VerifierTest, BadStringIndex)
+{
+    TestProgram t;
+    MethodId m =
+        t.method("m", {ins(Op::NewBytes, 7), ins(Op::Ret)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadStringIndex));
+}
+
+TEST(VerifierTest, BadFieldIndexOnKnownKlass)
+{
+    // The receiver klass is statically known (New T), so the
+    // dataflow can bound the field index: T has 2 fields.
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::New, t.k),
+                              ins(Op::GetField, 7),
+                              ins(Op::Ret),
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadFieldIndex));
+}
+
+TEST(VerifierTest, ArrayIndexProvablyOutOfBounds)
+{
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::PushI, 2),   // length
+                              ins(Op::NewArr, t.k),
+                              ins(Op::PushI, 5),   // index
+                              ins(Op::ALoad),
+                              ins(Op::Ret),
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadFieldIndex));
+}
+
+TEST(VerifierTest, BadStaticSlot)
+{
+    TestProgram t;
+    MethodId m = t.method(
+        "m", {ins(Op::GetStatic, t.k, 9), ins(Op::Ret)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadStaticSlot));
+}
+
+TEST(VerifierTest, BadCallArity)
+{
+    TestProgram t;
+    Method callee;
+    callee.name = "virt";
+    callee.num_args = 1;
+    callee.num_locals = 1;
+    callee.code = {ins(Op::Ret)};
+    t.p.addMethod(t.k, callee);
+    NameId name = t.p.internName("virt");
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::New, t.k),
+                              ins(Op::PushI, 0),
+                              ins(Op::CallVirt, name, 2),
+                              ins(Op::Ret),
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadCallArity));
+}
+
+TEST(VerifierTest, UnresolvedVirtualOnKnownKlass)
+{
+    TestProgram t;
+    NameId name = t.p.internName("nosuch");
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::New, t.k),
+                              ins(Op::CallVirt, name, 1),
+                              ins(Op::Ret),
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadMethodId));
+}
+
+TEST(VerifierTest, BadImmediateNegativeCompute)
+{
+    TestProgram t;
+    MethodId m =
+        t.method("m", {ins(Op::Compute, -5), ins(Op::Ret)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadImmediate));
+}
+
+TEST(VerifierTest, NegativeArrayLength)
+{
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::PushI, -3),
+                              ins(Op::NewArr, t.k),
+                              ins(Op::Ret),
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::BadImmediate));
+}
+
+TEST(VerifierTest, FallOffEndWithoutRet)
+{
+    TestProgram t;
+    MethodId m = t.method("m", {ins(Op::PushI, 1)});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::FallOffEnd));
+}
+
+TEST(VerifierTest, EmptyMethodIsFallOffEnd)
+{
+    TestProgram t;
+    MethodId m = t.method("m", {});
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::FallOffEnd));
+}
+
+TEST(VerifierTest, RetWhileHoldingMonitor)
+{
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::New, t.k),
+                              ins(Op::MonitorEnter),
+                              ins(Op::Ret),
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::UnbalancedMonitor));
+}
+
+TEST(VerifierTest, MonitorExitWithoutEnter)
+{
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::New, t.k),
+                              ins(Op::MonitorExit),
+                              ins(Op::Ret),
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::UnbalancedMonitor));
+}
+
+TEST(VerifierTest, TypeMismatchDereferencesInt)
+{
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::PushI, 3),
+                              ins(Op::GetField, 0),
+                              ins(Op::Ret),
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(hasCode(r, DiagCode::TypeMismatch));
+}
+
+TEST(VerifierTest, UnreachableCodeIsWarning)
+{
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::PushI, 1),
+                              ins(Op::Ret),
+                              ins(Op::Nop), // dead
+                              ins(Op::Ret), // dead
+                          });
+    VerifyResult r = t.verify(m);
+    EXPECT_TRUE(r.ok()) << "unreachable code must not be an error";
+    EXPECT_EQ(r.warningCount(), 1u);
+    EXPECT_TRUE(hasCode(r, DiagCode::UnreachableCode));
+}
+
+// ---- Well-formed control flow is accepted -------------------------
+
+TEST(VerifierTest, AcceptsLoopWithMergedState)
+{
+    // while (n > 0) { acc += n; --n; } return acc;
+    TestProgram t;
+    MethodId m = t.method("sum",
+                          {
+                              ins(Op::PushI, 0),    // 0: acc = 0
+                              ins(Op::Store, 1),    // 1
+                              ins(Op::Load, 0),     // 2: loop head
+                              ins(Op::PushI, 0),    // 3
+                              ins(Op::CmpLe),       // 4
+                              ins(Op::Jnz, 13),     // 5 -> done
+                              ins(Op::Load, 1),     // 6
+                              ins(Op::Load, 0),     // 7
+                              ins(Op::Add),         // 8
+                              ins(Op::Store, 1),    // 9
+                              ins(Op::Load, 0),     // 10
+                              ins(Op::PushI, 1),    // 11 (dec below)
+                              ins(Op::Jmp, 15),     // 12
+                              ins(Op::Load, 1),     // 13: done
+                              ins(Op::Ret),         // 14
+                              ins(Op::Sub),         // 15
+                              ins(Op::Store, 0),    // 16
+                              ins(Op::Jmp, 2),      // 17
+                          },
+                          /*num_args=*/1, /*num_locals=*/2);
+    VerifyResult r = t.verify(m);
+    for (const Diagnostic &d : r.diagnostics)
+        ADD_FAILURE() << toString(d, t.p);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(VerifierTest, StrictModeRejectsUntypedDereference)
+{
+    // Argument 0 has unknown kind; permissive trusts it, strict
+    // (the fuzz oracle's mode) rejects the dereference.
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::Load, 0),
+                              ins(Op::GetField, 0),
+                              ins(Op::Ret),
+                          },
+                          /*num_args=*/1, /*num_locals=*/1);
+    EXPECT_TRUE(t.verify(m).ok());
+    VerifyOptions strict;
+    strict.strict_types = true;
+    EXPECT_FALSE(t.verify(m, strict).ok());
+}
+
+// ---- Pass-clean built-in workload programs ------------------------
+
+struct BuiltinPrograms
+{
+    Program program;
+    NativeRegistry natives;
+    apps::Framework framework;
+    apps::ThumbnailApp thumbnail;
+    apps::PybbsApp pybbs;
+    apps::BlogApp blog;
+
+    BuiltinPrograms()
+        : framework(program, natives, apps::FrameworkOptions{}),
+          thumbnail(framework), pybbs(framework), blog(framework)
+    {
+    }
+};
+
+TEST(VerifierTest, BuiltinWorkloadProgramsVerifyClean)
+{
+    BuiltinPrograms b;
+    VerifyResult r = Verifier(b.program).verifyAll();
+    for (const Diagnostic &d : r.diagnostics)
+        ADD_FAILURE() << toString(d, b.program);
+    EXPECT_EQ(r.errorCount(), 0u);
+    EXPECT_EQ(r.warningCount(), 0u);
+}
+
+TEST(VerifierTest, EveryAppEntryAndHandlerVerifyClean)
+{
+    BuiltinPrograms b;
+    const apps::WebApp *all[] = {&b.thumbnail, &b.pybbs, &b.blog};
+    for (const apps::WebApp *app : all) {
+        for (MethodId root : {app->entry(), app->handler()}) {
+            VerifyResult r;
+            Verifier(b.program).verifyMethod(root, r);
+            EXPECT_TRUE(r.ok()) << app->name();
+        }
+    }
+}
+
+// ---- Offloadability analysis --------------------------------------
+
+TEST(OffloadAnalysisTest, PureComputeRootIsOffloadSafe)
+{
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::PushI, 4),
+                              ins(Op::Compute, 100),
+                              ins(Op::Ret),
+                          });
+    RootReport r = OffloadAnalysis(t.p).classifyRoot(m);
+    EXPECT_EQ(r.klass, OffloadClass::OffloadSafe);
+    EXPECT_TRUE(r.reasons.empty());
+}
+
+TEST(OffloadAnalysisTest, PutStaticNeedsFallback)
+{
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::PushI, 1),
+                              ins(Op::PutStatic, t.k, 0),
+                              ins(Op::Ret),
+                          });
+    RootReport r = OffloadAnalysis(t.p).classifyRoot(m);
+    EXPECT_EQ(r.klass, OffloadClass::NeedsFallback);
+    ASSERT_FALSE(r.reasons.empty());
+}
+
+TEST(OffloadAnalysisTest, NonPackageableNativeIsLocalOnly)
+{
+    TestProgram t;
+    Method native;
+    native.name = "nat";
+    native.is_native = true;
+    native.native_category = NativeCategory::Network;
+    MethodId nat = t.p.addMethod(t.k, native); // T not packageable
+    MethodId m = t.method(
+        "m", {ins(Op::CallNative, nat), ins(Op::Ret)});
+    RootReport r = OffloadAnalysis(t.p).classifyRoot(m);
+    EXPECT_EQ(r.klass, OffloadClass::LocalOnly);
+}
+
+TEST(OffloadAnalysisTest, PackageableNativeNeedsFallbackOnly)
+{
+    TestProgram t;
+    t.p.klass(t.k).packageable = true;
+    Method native;
+    native.name = "nat";
+    native.is_native = true;
+    native.native_category = NativeCategory::HiddenState;
+    MethodId nat = t.p.addMethod(t.k, native);
+    MethodId m = t.method(
+        "m", {ins(Op::CallNative, nat), ins(Op::Ret)});
+    RootReport r = OffloadAnalysis(t.p).classifyRoot(m);
+    EXPECT_EQ(r.klass, OffloadClass::NeedsFallback);
+}
+
+TEST(OffloadAnalysisTest, TransitiveCallGraphIsWalked)
+{
+    // root -> mid -> leaf(monitor): the reason surfaces from two
+    // call edges away.
+    TestProgram t;
+    MethodId leaf = t.method("leaf",
+                             {
+                                 ins(Op::New, t.k),
+                                 ins(Op::MonitorEnter),
+                                 ins(Op::New, t.k),
+                                 ins(Op::MonitorExit),
+                                 ins(Op::Ret),
+                             });
+    MethodId mid =
+        t.method("mid", {ins(Op::Call, leaf), ins(Op::Ret)});
+    MethodId root =
+        t.method("root", {ins(Op::Call, mid), ins(Op::Ret)});
+    RootReport r = OffloadAnalysis(t.p).classifyRoot(root);
+    EXPECT_EQ(r.klass, OffloadClass::NeedsFallback);
+    EXPECT_EQ(r.reachable.size(), 3u);
+}
+
+TEST(OffloadAnalysisTest, CallVirtWidensOverSameNamedMethods)
+{
+    // Two klasses implement "handle"; one of them writes a static.
+    // The conservative widening must pick both up.
+    TestProgram t;
+    Klass other;
+    other.name = "U";
+    KlassId u = t.p.addKlass(other);
+    Method clean;
+    clean.name = "handle";
+    clean.num_args = 1;
+    clean.num_locals = 1;
+    clean.code = {ins(Op::Ret)};
+    t.p.addMethod(u, clean);
+    Method dirty;
+    dirty.name = "handle";
+    dirty.num_args = 1;
+    dirty.num_locals = 1;
+    dirty.code = {ins(Op::PushI, 1), ins(Op::PutStatic, t.k, 0),
+                  ins(Op::Ret)};
+    t.p.addMethod(t.k, dirty);
+
+    NameId name = t.p.internName("handle");
+    MethodId root = t.method("root",
+                             {
+                                 ins(Op::PushNil),
+                                 ins(Op::CallVirt, name, 1),
+                                 ins(Op::Ret),
+                             });
+    RootReport r = OffloadAnalysis(t.p).classifyRoot(root);
+    EXPECT_EQ(r.klass, OffloadClass::NeedsFallback);
+}
+
+TEST(OffloadAnalysisTest, BuiltinEndpointsAreNotLocalOnly)
+{
+    // Everything the built-in apps reach is either safe or covered
+    // by the paper's fallback machinery; nothing should be
+    // statically unoffloadable.
+    BuiltinPrograms b;
+    OffloadAnalysis analysis(b.program);
+    const apps::WebApp *all[] = {&b.thumbnail, &b.pybbs, &b.blog};
+    for (const apps::WebApp *app : all) {
+        RootReport r = analysis.classifyRoot(app->entry());
+        EXPECT_NE(r.klass, OffloadClass::LocalOnly) << app->name();
+        // The Twig plumbing always reaches invoke0/sockets, so the
+        // entry can never be plain offload-safe either.
+        EXPECT_EQ(r.klass, OffloadClass::NeedsFallback)
+            << app->name();
+    }
+}
+
+} // namespace
+} // namespace beehive::vm
