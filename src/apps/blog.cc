@@ -35,6 +35,10 @@ BlogApp::BlogApp(Framework &framework) : fw_(framework)
     cache.statics = {"locks", "entries"};
     cache.code_bytes = 1800;
     cache_k_ = program.addKlass(cache);
+    program.hintStatic(cache_k_, kCacheLocks, fw_.arrayKlass(),
+                       cache_k_);
+    program.hintStatic(cache_k_, kCacheEntries, fw_.arrayKlass(),
+                       cache_k_);
 
     int64_t posts = fw_.tableId("posts");
 

@@ -72,6 +72,17 @@ Framework::defineKlasses()
         b.build();
         stub_klasses_.push_back(k);
     }
+
+    // Declared field/static types (the analogue of class-file field
+    // descriptors) so the static analyses can attribute field reads
+    // to receiver klasses. HiveVM has one shared array klass, so
+    // the element type rides on the static slot's hint.
+    program_.hintStatic(datasource_k_, kDsConnPool, array_k_,
+                        socket_k_);
+    program_.hintStatic(datasource_k_, kDsMethodObj, method_k_);
+    program_.hintStatic(datasource_k_, kDsConfigRoot, config_k_);
+    program_.hintField(config_k_, kCfgNext, config_k_);
+    program_.hintField(config_k_, kCfgPayload, bytes_k_);
 }
 
 vm::MethodId

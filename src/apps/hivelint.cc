@@ -4,47 +4,264 @@
  *
  * Builds the Twig framework plus every evaluation app (thumbnail,
  * pybbs, blog) into one Program -- exactly what the experiment
- * harness executes -- then runs the bytecode verifier over every
- * method and the offloadability analysis over every endpoint root,
- * printing all findings. Exit status is non-zero when any
- * Error-severity diagnostic exists, so the `lint` CMake/ctest target
- * gates on it.
+ * harness executes -- then runs every static pass over it:
  *
- * Usage: hivelint [--strict] [--quiet]
+ *   1. bytecode verification of every method,
+ *   2. offload classification of every endpoint root, with the
+ *      interprocedural effect summary and minimal capture set each
+ *      root's classification rests on,
+ *   3. lock-order analysis (potential deadlock cycles in the
+ *      program-wide lock graph),
+ *   4. closure slimming measurement: for each app the handler's
+ *      closure is built with and without the capture set, reporting
+ *      data bytes before/after.
+ *
+ * Usage: hivelint [--strict] [--quiet] [--json]
  *   --strict  closed-world typing (see VerifyOptions::strict_types);
  *             the built-in apps intentionally fail this, it exists
  *             for exploring the lattice.
  *   --quiet   print only errors and the summary.
+ *   --json    one JSON object per finding on stdout (JSONL), no
+ *             human-readable chrome.
+ *
+ * Exit status: 0 when no Error-severity finding exists, 1 when at
+ * least one does, 2 on usage errors or an internal failure (an
+ * exception escaping the passes).
  */
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
 
 #include "apps/blog.h"
 #include "apps/framework.h"
 #include "apps/pybbs.h"
 #include "apps/thumbnail.h"
+#include "core/closure.h"
+#include "core/server.h"
+#include "harness/testbed.h"
+#include "support/strutil.h"
 #include "vm/offload_analysis.h"
 #include "vm/verifier.h"
 
 using namespace beehive;
 
-int
-main(int argc, char **argv)
+namespace {
+
+/** One finding, regardless of which pass produced it. */
+struct Finding
 {
-    vm::VerifyOptions options;
-    bool quiet = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--strict") == 0) {
-            options.strict_types = true;
-        } else if (std::strcmp(argv[i], "--quiet") == 0) {
-            quiet = true;
-        } else {
-            std::fprintf(stderr,
-                         "usage: hivelint [--strict] [--quiet]\n");
-            return 2;
+    std::string kind;     //!< pass: verify | offload | effect |
+                          //!< capture | lock-order | closure
+    std::string program;  //!< app / scope the finding concerns
+    std::string method;   //!< qualified method name ("" when n/a)
+    uint32_t pc = 0;
+    std::string klass;    //!< machine-readable diagnostic class
+    std::string severity; //!< error | warning | info
+    std::string message;
+};
+
+/** Minimal JSON string escaping (quotes, backslash, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
         }
     }
+    return out;
+}
+
+struct Reporter
+{
+    bool json = false;
+    bool quiet = false;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+
+    void
+    add(const Finding &f)
+    {
+        if (f.severity == "error")
+            ++errors;
+        else if (f.severity == "warning")
+            ++warnings;
+        if (quiet && f.severity != "error")
+            return;
+        if (json) {
+            std::printf("{\"kind\":\"%s\",\"program\":\"%s\","
+                        "\"method\":\"%s\",\"pc\":%u,"
+                        "\"class\":\"%s\",\"severity\":\"%s\","
+                        "\"message\":\"%s\"}\n",
+                        jsonEscape(f.kind).c_str(),
+                        jsonEscape(f.program).c_str(),
+                        jsonEscape(f.method).c_str(), f.pc,
+                        jsonEscape(f.klass).c_str(),
+                        jsonEscape(f.severity).c_str(),
+                        jsonEscape(f.message).c_str());
+        } else {
+            std::printf("%s [%s] %s\n", f.kind.c_str(),
+                        f.program.c_str(), f.message.c_str());
+        }
+    }
+};
+
+const char *
+severityName(vm::Severity s)
+{
+    return s == vm::Severity::Error ? "error" : "warning";
+}
+
+const char *
+offloadClassName(vm::OffloadClass c)
+{
+    switch (c) {
+      case vm::OffloadClass::OffloadSafe: return "offload-safe";
+      case vm::OffloadClass::NeedsFallback: return "needs-fallback";
+      case vm::OffloadClass::LocalOnly: return "local-only";
+    }
+    return "?";
+}
+
+/** Passes 2+3: classification, effects, capture for one root. */
+void
+reportRoot(Reporter &rep, const vm::Program &program,
+           const vm::OffloadAnalysis &analysis, const char *app,
+           vm::MethodId root)
+{
+    vm::RootReport report = analysis.classifyRoot(root);
+    std::string qname = program.qualifiedName(root);
+
+    Finding f;
+    f.kind = "offload";
+    f.program = app;
+    f.method = qname;
+    f.klass = offloadClassName(report.klass);
+    f.severity = "info";
+    f.message = toString(report, program);
+    rep.add(f);
+
+    const vm::EffectSummary &sum =
+        analysis.analysis().transitiveSummary(root);
+    Finding e;
+    e.kind = "effect";
+    e.program = app;
+    e.method = qname;
+    e.klass = "effect-summary";
+    e.severity = "info";
+    e.message = strprintf(
+        "%s: reads %zu static(s), writes %zu static(s), "
+        "%zu shared lock(s), %u monitor(s) elided, "
+        "%u volatile(s) elided",
+        qname.c_str(), sum.statics_read.size(),
+        sum.statics_written.size(), sum.locks.size(),
+        sum.monitors_elided, sum.volatiles_elided);
+    rep.add(e);
+
+    vm::CaptureSet capture = analysis.captureForRoot(root);
+    Finding c;
+    c.kind = "capture";
+    c.program = app;
+    c.method = qname;
+    c.klass = capture.all_fields ? "capture-widened"
+                                 : "capture-set";
+    c.severity = "info";
+    c.message =
+        qname + ": " + toString(capture, program);
+    rep.add(c);
+}
+
+/**
+ * Pass 4: measure closure slimming on one assembled app. Builds the
+ * handler's closure twice from the same profile -- full traversal
+ * vs. capture-pruned -- and reports the data-part sizes.
+ */
+void
+measureClosure(Reporter &rep, harness::AppKind kind)
+{
+    harness::TestbedOptions options;
+    options.app = kind;
+    harness::Testbed bed(options);
+    const char *app = harness::appName(kind);
+    if (!bed.runProfilingPhase() || bed.manager() == nullptr) {
+        Finding f;
+        f.kind = "closure";
+        f.program = app;
+        f.klass = "no-profile";
+        f.severity = "warning";
+        f.message = "profiling phase did not select the handler; "
+                    "closure measurement skipped";
+        rep.add(f);
+        return;
+    }
+
+    vm::MethodId root = bed.app().handler();
+    const vm::CaptureSet *capture = bed.manager()->captureFor(root);
+    const vm::RootProfile *profile =
+        bed.server().profiler().profile(root);
+    // Full klass coverage and a fixed seed: the two builds differ
+    // only in capture pruning, never in random thinning.
+    core::BeeHiveConfig config = bed.server().config();
+    config.closure_klass_coverage = 1.0;
+    std::vector<vm::Value> sample_args = {vm::Value::ofInt(0)};
+
+    core::Closure before =
+        core::ClosureBuilder(bed.server().context(), config, Rng(42))
+            .build(root, profile, sample_args, nullptr);
+    core::Closure after =
+        core::ClosureBuilder(bed.server().context(), config, Rng(42))
+            .build(root, profile, sample_args, capture);
+    uint64_t bytes_before =
+        before.dataBytes(bed.server().context().heap());
+    uint64_t bytes_after =
+        after.dataBytes(bed.server().context().heap());
+
+    Finding f;
+    f.kind = "closure";
+    f.program = app;
+    f.method = bed.program().qualifiedName(root);
+    f.klass = "capture-slimming";
+    f.severity = "info";
+    f.message = strprintf(
+        "%s: closure data %llu -> %llu bytes "
+        "(%zu -> %zu objects, %.1f%% smaller)",
+        bed.program().qualifiedName(root).c_str(),
+        static_cast<unsigned long long>(bytes_before),
+        static_cast<unsigned long long>(bytes_after),
+        before.objects.size(), after.objects.size(),
+        bytes_before == 0
+            ? 0.0
+            : 100.0 * (1.0 - double(bytes_after) /
+                                 double(bytes_before)));
+    rep.add(f);
+}
+
+int
+runLint(bool strict, bool quiet, bool json)
+{
+    vm::VerifyOptions options;
+    options.strict_types = strict;
+
+    Reporter rep;
+    rep.json = json;
+    rep.quiet = quiet;
 
     // The same program construction the experiment harness performs.
     vm::Program program;
@@ -56,40 +273,89 @@ main(int argc, char **argv)
     apps::BlogApp blog(framework);
     const apps::WebApp *all_apps[] = {&thumbnail, &pybbs, &blog};
 
-    std::printf("hivelint: %zu klasses, %zu methods%s\n",
-                program.klassCount(), program.methodCount(),
-                options.strict_types ? " (strict typing)" : "");
+    if (!json)
+        std::printf("hivelint: %zu klasses, %zu methods%s\n",
+                    program.klassCount(), program.methodCount(),
+                    strict ? " (strict typing)" : "");
 
     // ---- Pass 1: bytecode verification --------------------------
     vm::VerifyResult result =
         vm::Verifier(program, options).verifyAll();
     for (const vm::Diagnostic &d : result.diagnostics) {
-        if (quiet && d.severity != vm::Severity::Error)
-            continue;
-        std::printf("%s\n", toString(d, program).c_str());
+        Finding f;
+        f.kind = "verify";
+        f.program = "builtin";
+        f.method = program.qualifiedName(d.method);
+        f.pc = d.pc;
+        f.klass = vm::diagCodeName(d.code);
+        f.severity = severityName(d.severity);
+        f.message = toString(d, program);
+        rep.add(f);
     }
 
-    // ---- Pass 2: offloadability of every endpoint root ----------
+    // ---- Passes 2+3: offload class, effects, capture ------------
     vm::OffloadAnalysis analysis(program);
-    for (const apps::WebApp *app : all_apps) {
-        for (vm::MethodId root : {app->entry(), app->handler()}) {
-            vm::RootReport report = analysis.classifyRoot(root);
-            if (!quiet)
-                std::printf("offload [%s] %s\n", app->name(),
-                            toString(report, program).c_str());
-        }
-    }
+    for (const apps::WebApp *app : all_apps)
+        for (vm::MethodId root : {app->entry(), app->handler()})
+            reportRoot(rep, program, analysis, app->name(), root);
     // Annotated handlers the apps did not expose explicitly would be
     // invisible above; sweep the candidate filter too.
     for (vm::MethodId root :
-         program.methodsWithAnnotation("RequestMapping")) {
-        vm::RootReport report = analysis.classifyRoot(root);
-        if (!quiet)
-            std::printf("offload [annotated] %s\n",
-                        toString(report, program).c_str());
+         program.methodsWithAnnotation("RequestMapping"))
+        reportRoot(rep, program, analysis, "annotated", root);
+
+    // ---- Pass 3b: lock-order cycles -----------------------------
+    for (const vm::LockCycle &cycle :
+         analysis.analysis().lockCycles()) {
+        Finding f;
+        f.kind = "lock-order";
+        f.program = "builtin";
+        f.klass = "deadlock-cycle";
+        f.severity = "warning";
+        f.message = cycle.describe(program);
+        rep.add(f);
     }
 
-    std::printf("hivelint: %zu error(s), %zu warning(s)\n",
-                result.errorCount(), result.warningCount());
-    return result.ok() ? 0 : 1;
+    // ---- Pass 4: closure slimming measurement -------------------
+    for (harness::AppKind kind :
+         {harness::AppKind::Thumbnail, harness::AppKind::Pybbs,
+          harness::AppKind::Blog})
+        measureClosure(rep, kind);
+
+    if (!json)
+        std::printf("hivelint: %zu error(s), %zu warning(s)\n",
+                    rep.errors, rep.warnings);
+    return rep.errors == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool strict = false;
+    bool quiet = false;
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--strict") == 0) {
+            strict = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: hivelint [--strict] [--quiet] [--json]\n");
+            return 2;
+        }
+    }
+
+    try {
+        return runLint(strict, quiet, json);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "hivelint: internal failure: %s\n",
+                     e.what());
+        return 2;
+    }
 }

@@ -37,6 +37,10 @@ PybbsApp::PybbsApp(Framework &framework) : fw_(framework)
     shared.statics = {"locks", "cache"};
     shared.code_bytes = 2100;
     shared_k_ = program.addKlass(shared);
+    program.hintStatic(shared_k_, kShLocks, fw_.arrayKlass(),
+                       shared_k_);
+    program.hintStatic(shared_k_, kShCache, fw_.arrayKlass(),
+                       shared_k_);
 
     int64_t users = fw_.tableId("users");
     int64_t topics = fw_.tableId("topics");

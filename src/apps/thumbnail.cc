@@ -17,6 +17,7 @@ ThumbnailApp::ThumbnailApp(Framework &framework) : fw_(framework)
     stats.statics = {"instance"};
     stats.code_bytes = 1400;
     stats_k_ = program.addKlass(stats);
+    program.hintStatic(stats_k_, 0, stats_k_);
 
     int64_t images = fw_.tableId("images");
     int64_t thumbs = fw_.tableId("thumbs");

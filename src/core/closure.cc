@@ -63,7 +63,8 @@ ClosureBuilder::ClosureBuilder(vm::VmContext &server_ctx,
 
 Closure
 ClosureBuilder::build(vm::MethodId root, const vm::RootProfile *profile,
-                      const std::vector<Value> &sample_args)
+                      const std::vector<Value> &sample_args,
+                      const vm::CaptureSet *capture)
 {
     Closure closure;
     closure.root = root;
@@ -115,8 +116,15 @@ ClosureBuilder::build(vm::MethodId root, const vm::RootProfile *profile,
         const vm::ObjHeader &hdr = heap.header(ref);
         if (hdr.kind == ObjKind::Bytes)
             continue;
-        for (uint32_t i = 0; i < hdr.count; ++i)
+        // Arrays always ship whole (element reads are not field-
+        // indexed); plain objects only follow fields the capture
+        // set says offloaded code can read.
+        bool filter = capture != nullptr && hdr.kind == ObjKind::Plain;
+        for (uint32_t i = 0; i < hdr.count; ++i) {
+            if (filter && !capture->containsField(hdr.klass, i))
+                continue;
             enqueue(heap.field(ref, i), depth + 1);
+        }
     }
 
     // Closure computation time: proportional to the traversed and

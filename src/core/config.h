@@ -120,6 +120,16 @@ struct BeeHiveConfig
      * scheduling behaviour only changes when this is set.
      */
     bool refuse_local_only_roots = false;
+
+    /**
+     * Prune closure object traversal using the interprocedural
+     * capture analysis (vm/analysis.h): plain-object fields no
+     * reachable code can read are not shipped. Off by default so
+     * that closure contents stay bit-identical to prior behaviour
+     * unless the deployment opts in; the missing-data fallback makes
+     * enabling it safe regardless.
+     */
+    bool capture_slimming = false;
 };
 
 } // namespace beehive::core

@@ -66,10 +66,14 @@ OffloadManager::enableRoot(vm::MethodId root,
                            std::vector<Value> sample_args)
 {
     const vm::Program &program = server_.program();
-    vm::RootReport report =
-        vm::OffloadAnalysis(program).classifyRoot(root);
+    vm::OffloadAnalysis analysis(program);
+    vm::RootReport report = analysis.classifyRoot(root);
     inform("offload-analysis: %s",
            toString(report, program).c_str());
+    vm::CaptureSet capture = analysis.captureForRoot(root);
+    inform("capture-analysis: %s: %s",
+           program.qualifiedName(root).c_str(),
+           toString(capture, program).c_str());
     switch (report.klass) {
       case vm::OffloadClass::OffloadSafe:
         ++stats_.roots_offload_safe;
@@ -84,6 +88,8 @@ OffloadManager::enableRoot(vm::MethodId root,
 
     RootState &state = roots_[root];
     state.klass = report.klass;
+    state.capture = std::move(capture);
+    state.has_capture = true;
     if (report.klass == vm::OffloadClass::LocalOnly &&
         server_.config().refuse_local_only_roots) {
         ++stats_.roots_refused;
@@ -119,11 +125,25 @@ OffloadManager::closureFor(vm::MethodId root)
     if (!state.closure_built) {
         ClosureBuilder builder(server_.context(), server_.config(),
                                rng_.fork());
-        state.closure = builder.build(
-            root, server_.profiler().profile(root), state.sample_args);
+        const vm::CaptureSet *capture =
+            server_.config().capture_slimming && state.has_capture
+                ? &state.capture
+                : nullptr;
+        state.closure =
+            builder.build(root, server_.profiler().profile(root),
+                          state.sample_args, capture);
         state.closure_built = true;
     }
     return state.closure;
+}
+
+const vm::CaptureSet *
+OffloadManager::captureFor(vm::MethodId root) const
+{
+    auto it = roots_.find(root);
+    return it != roots_.end() && it->second.has_capture
+               ? &it->second.capture
+               : nullptr;
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include "support/logging.h"
 #include "support/strutil.h"
+#include "vm/analysis.h"
 #include "vm/verifier.h"
 
 namespace beehive::core {
@@ -282,6 +283,13 @@ BeeHiveServer::BeeHiveServer(sim::Simulation &sim, net::Network &net,
                  "(verify_on_load=warn)",
                  vr.errorCount());
         }
+        // Lock-order analysis rides along with the verifier gate:
+        // an ABBA inversion can wedge local and offloaded frames
+        // against each other, so surface it before traffic starts.
+        vm::ProgramAnalysis analysis(program_);
+        for (const vm::LockCycle &cycle : analysis.lockCycles())
+            warn("lock-order: %s",
+                 cycle.describe(program_).c_str());
     }
 
     sync_.registerServer(ctx_.get());

@@ -1,0 +1,1059 @@
+#include "vm/analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <tuple>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace beehive::vm {
+
+namespace {
+
+const char *
+categoryName(NativeCategory c)
+{
+    switch (c) {
+      case NativeCategory::PureOnHeap: return "pure-on-heap";
+      case NativeCategory::HiddenState: return "hidden-state";
+      case NativeCategory::Network: return "network";
+      case NativeCategory::Stateless: return "stateless";
+    }
+    return "?";
+}
+
+std::string
+staticName(const Program &program, KlassId klass, uint32_t slot)
+{
+    if (klass < program.klassCount() &&
+        slot < program.klass(klass).statics.size())
+        return program.klass(klass).name + "." +
+               program.klass(klass).statics[slot];
+    return strprintf("static[%u][%u]", klass, slot);
+}
+
+/**
+ * Abstract value tracked per stack/local slot: the exact dynamic
+ * klass when statically known, the element klass for arrays, whether
+ * the value is freshly allocated in this method (with the alloc-site
+ * pcs that may have produced it), and a lock-identity token.
+ */
+struct AbsVal
+{
+    KlassId klass = kNoKlass;
+    KlassId elem = kNoKlass;
+    bool fresh = false;
+    std::set<uint32_t> sites;
+    LockToken token;
+
+    bool operator==(const AbsVal &o) const
+    {
+        return klass == o.klass && elem == o.elem &&
+               fresh == o.fresh && sites == o.sites &&
+               token == o.token;
+    }
+};
+
+AbsVal
+joinVal(const AbsVal &a, const AbsVal &b)
+{
+    AbsVal r;
+    r.klass = a.klass == b.klass ? a.klass : kNoKlass;
+    r.elem = a.elem == b.elem ? a.elem : kNoKlass;
+    r.fresh = a.fresh && b.fresh;
+    r.sites = a.sites;
+    r.sites.insert(b.sites.begin(), b.sites.end());
+    r.token = a.token == b.token ? a.token : LockToken{};
+    return r;
+}
+
+/** Dataflow state at one program point. */
+struct AbsState
+{
+    std::vector<AbsVal> locals;
+    std::vector<AbsVal> stack;
+    /** Values whose monitors are currently held, outermost first. */
+    std::vector<AbsVal> held;
+};
+
+bool
+isBranch(Op op)
+{
+    return op == Op::Jmp || op == Op::Jz || op == Op::Jnz;
+}
+
+} // namespace
+
+// ---- LockToken ---------------------------------------------------
+
+bool
+LockToken::operator<(const LockToken &o) const
+{
+    return std::tie(kind, method, pc, klass, slot) <
+           std::tie(o.kind, o.method, o.pc, o.klass, o.slot);
+}
+
+bool
+LockToken::operator==(const LockToken &o) const
+{
+    return kind == o.kind && method == o.method && pc == o.pc &&
+           klass == o.klass && slot == o.slot;
+}
+
+std::string
+toString(const LockToken &token, const Program &program)
+{
+    switch (token.kind) {
+      case LockToken::Kind::Unknown:
+        return "<unknown lock>";
+      case LockToken::Kind::AllocSite:
+        return strprintf("new@%s+%u",
+                         program.qualifiedName(token.method).c_str(),
+                         token.pc);
+      case LockToken::Kind::StaticSlot:
+        return staticName(program, token.klass, token.slot);
+      case LockToken::Kind::StaticElem:
+        return staticName(program, token.klass, token.slot) + "[*]";
+    }
+    return "?";
+}
+
+// ---- EffectSummary / CaptureSet / LockCycle ----------------------
+
+void
+EffectSummary::join(const EffectSummary &o)
+{
+    statics_read.insert(o.statics_read.begin(), o.statics_read.end());
+    statics_written.insert(o.statics_written.begin(),
+                           o.statics_written.end());
+    fields_read.insert(o.fields_read.begin(), o.fields_read.end());
+    fields_read_any_klass.insert(o.fields_read_any_klass.begin(),
+                                 o.fields_read_any_klass.end());
+    klasses_fully_read.insert(o.klasses_fully_read.begin(),
+                              o.klasses_fully_read.end());
+    locks.insert(o.locks.begin(), o.locks.end());
+    monitors_elided += o.monitors_elided;
+    volatiles_elided += o.volatiles_elided;
+    touches_shared_volatile |= o.touches_shared_volatile;
+    unresolved_virtual |= o.unresolved_virtual;
+}
+
+bool
+CaptureSet::containsField(KlassId klass, uint32_t index) const
+{
+    if (all_fields)
+        return true;
+    if (full_klasses.count(klass) != 0)
+        return true;
+    if (any_klass_fields.count(index) != 0)
+        return true;
+    return fields.count({klass, index}) != 0;
+}
+
+std::size_t
+CaptureSet::fieldFactCount() const
+{
+    return fields.size() + any_klass_fields.size();
+}
+
+std::string
+toString(const CaptureSet &capture, const Program &program)
+{
+    (void)program;
+    if (capture.all_fields)
+        return strprintf("capture widened to all fields "
+                         "(%zu static(s))",
+                         capture.statics.size());
+    return strprintf("captures %zu static(s), %zu field fact(s), "
+                     "%zu fully-read klass(es)",
+                     capture.statics.size(),
+                     capture.fieldFactCount(),
+                     capture.full_klasses.size());
+}
+
+std::string
+LockCycle::describe(const Program &program) const
+{
+    std::string s = "potential deadlock cycle: ";
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        s += toString(tokens[i], program);
+        s += " -> ";
+    }
+    s += tokens.empty() ? "?" : toString(tokens.front(), program);
+    return s;
+}
+
+// ---- ProgramAnalysis ---------------------------------------------
+
+ProgramAnalysis::ProgramAnalysis(const Program &program)
+    : program_(program)
+{
+    const std::size_t n = program_.methodCount();
+    for (MethodId id = 0; id < n; ++id)
+        methods_by_name_[program_.method(id).name].push_back(id);
+    intra_.resize(n);
+    transitive_.resize(n);
+    locked_calls_.resize(n);
+    cg_.callees.resize(n);
+    cg_.natives.resize(n);
+    for (MethodId id = 0; id < n; ++id)
+        analyzeMethod(id);
+    condense();
+    computeTransitive();
+    buildLockGraph();
+}
+
+const EffectSummary &
+ProgramAnalysis::methodSummary(MethodId id) const
+{
+    bh_assert(id < intra_.size(), "bad method id %u", id);
+    return intra_[id];
+}
+
+const EffectSummary &
+ProgramAnalysis::transitiveSummary(MethodId id) const
+{
+    bh_assert(id < transitive_.size(), "bad method id %u", id);
+    return transitive_[id];
+}
+
+void
+ProgramAnalysis::analyzeMethod(MethodId id)
+{
+    const Method &m = program_.method(id);
+    EffectSummary &sum = intra_[id];
+
+    if (m.is_native) {
+        // Synthesize a summary from the native's category. Hidden-
+        // state and network natives read owner fields from C++ (e.g.
+        // socketRead0 reads SocketImpl.token), invisible to bytecode
+        // scanning, so the whole owner klass counts as read.
+        switch (m.native_category) {
+          case NativeCategory::PureOnHeap:
+          case NativeCategory::Stateless:
+            break;
+          case NativeCategory::HiddenState:
+          case NativeCategory::Network: {
+            bool packageable =
+                m.owner != kNoKlass &&
+                program_.klass(m.owner).packageable;
+            EffectSite site;
+            site.kind =
+                m.native_category == NativeCategory::Network
+                    ? EffectSite::Kind::NetworkNative
+                    : EffectSite::Kind::HiddenNative;
+            site.method = id;
+            site.pc = 0;
+            if (packageable) {
+                site.demand = EffectDemand::Fallback;
+                site.message = strprintf(
+                    "calls %s native %s on Packageable %s "
+                    "(fallback/pack handles it)",
+                    categoryName(m.native_category), m.name.c_str(),
+                    program_.klass(m.owner).name.c_str());
+            } else {
+                site.demand = EffectDemand::LocalOnly;
+                site.message = strprintf(
+                    "calls %s native %s on non-Packageable owner "
+                    "-- off-heap state cannot be rebuilt on FaaS",
+                    categoryName(m.native_category), m.name.c_str());
+            }
+            sum.sites.push_back(std::move(site));
+            if (m.owner != kNoKlass)
+                sum.klasses_fully_read.insert(m.owner);
+            break;
+          }
+        }
+        return;
+    }
+
+    if (m.code.empty())
+        return;
+
+    const std::size_t n = m.code.size();
+
+    // ---- Basic-block discovery (mirrors the verifier) -----------
+    std::set<uint32_t> leaders;
+    leaders.insert(0);
+    for (uint32_t pc = 0; pc < n; ++pc) {
+        const Instr &in = m.code[pc];
+        if (isBranch(in.op)) {
+            if (in.a >= 0 && static_cast<std::size_t>(in.a) < n)
+                leaders.insert(static_cast<uint32_t>(in.a));
+            if (pc + 1 < n)
+                leaders.insert(pc + 1);
+        } else if (in.op == Op::Ret && pc + 1 < n) {
+            leaders.insert(pc + 1);
+        }
+    }
+    auto blockEnd = [&](uint32_t leader) {
+        auto it = leaders.upper_bound(leader);
+        return it == leaders.end() ? static_cast<uint32_t>(n) : *it;
+    };
+
+    std::map<uint32_t, AbsState> states;
+    std::deque<uint32_t> work;
+    std::set<uint32_t> queued;
+    bool bailed = false;
+
+    AbsState entry;
+    entry.locals.assign(m.num_locals, AbsVal{});
+    states[0] = entry;
+    work.push_back(0);
+    queued.insert(0);
+
+    auto joinInto = [&](uint32_t target, const AbsState &s) {
+        auto it = states.find(target);
+        if (it == states.end()) {
+            states[target] = s;
+            if (queued.insert(target).second)
+                work.push_back(target);
+            return;
+        }
+        AbsState &t = it->second;
+        if (t.stack.size() != s.stack.size()) {
+            bailed = true; // the verifier reports this shape
+            return;
+        }
+        bool changed = false;
+        auto joinVec = [&](std::vector<AbsVal> &dst,
+                           const std::vector<AbsVal> &src) {
+            std::size_t lim = std::min(dst.size(), src.size());
+            for (std::size_t i = 0; i < lim; ++i) {
+                AbsVal j = joinVal(dst[i], src[i]);
+                if (!(j == dst[i])) {
+                    dst[i] = j;
+                    changed = true;
+                }
+            }
+        };
+        if (t.held.size() > s.held.size()) {
+            t.held.resize(s.held.size());
+            changed = true;
+        }
+        joinVec(t.stack, s.stack);
+        joinVec(t.locals, s.locals);
+        joinVec(t.held, s.held);
+        if (changed && queued.insert(target).second)
+            work.push_back(target);
+    };
+
+    // ---- Escape set ---------------------------------------------
+    // Alloc-site pcs whose objects may be visible outside this
+    // frame: stored to a static/field/array slot, passed to any
+    // call, or returned.
+    std::set<uint32_t> escaped;
+    auto escape = [&](const AbsVal &v) {
+        escaped.insert(v.sites.begin(), v.sites.end());
+    };
+    // Provably method-local: fresh on all paths and no contributing
+    // alloc site escapes. Monitors/volatiles on such values cannot
+    // be contended across endpoints.
+    auto elidable = [&](const AbsVal &v) {
+        if (!v.fresh || v.sites.empty())
+            return false;
+        for (uint32_t s : v.sites)
+            if (escaped.count(s) != 0)
+                return false;
+        return true;
+    };
+
+    std::set<MethodId> callees;
+    std::set<MethodId> natives;
+
+    enum Mode { kFlow, kEscape, kCollect };
+
+    /**
+     * Interpret one block from @p leader with entry state @p st.
+     * kFlow propagates successor states (fixpoint); kEscape collects
+     * escaping alloc sites; kCollect fills the effect summary, call
+     * edges and lock facts using the final escape set.
+     */
+    auto runBlock = [&](uint32_t leader, AbsState st, Mode mode) {
+        uint32_t end = blockEnd(leader);
+        for (uint32_t pc = leader; pc < end && !bailed; ++pc) {
+            const Instr &in = m.code[pc];
+            auto pop = [&]() -> AbsVal {
+                if (st.stack.empty()) {
+                    bailed = true;
+                    return AbsVal{};
+                }
+                AbsVal v = st.stack.back();
+                st.stack.pop_back();
+                return v;
+            };
+            auto push = [&](AbsVal v) {
+                st.stack.push_back(std::move(v));
+            };
+            auto allocToken = [&]() {
+                LockToken t;
+                t.kind = LockToken::Kind::AllocSite;
+                t.method = id;
+                t.pc = pc;
+                return t;
+            };
+            auto heldTokens = [&]() {
+                std::vector<LockToken> out;
+                for (const AbsVal &h : st.held)
+                    if (!elidable(h) &&
+                        h.token.kind != LockToken::Kind::Unknown)
+                        out.push_back(h.token);
+                return out;
+            };
+            auto recordCall = [&](const std::vector<MethodId> &ts) {
+                std::vector<MethodId> bytecode;
+                for (MethodId t : ts) {
+                    if (program_.method(t).is_native)
+                        natives.insert(t);
+                    else {
+                        callees.insert(t);
+                        bytecode.push_back(t);
+                    }
+                }
+                std::vector<LockToken> held = heldTokens();
+                if (!held.empty() && !bytecode.empty())
+                    locked_calls_[id].push_back(
+                        LockedCall{std::move(held),
+                                   std::move(bytecode)});
+            };
+
+            switch (in.op) {
+              case Op::Nop:
+              case Op::Compute:
+              case Op::Jmp:
+                break;
+              case Op::PushI:
+              case Op::PushF:
+              case Op::PushNil:
+                push(AbsVal{});
+                break;
+              case Op::Load: {
+                auto slot = static_cast<std::size_t>(in.a);
+                push(slot < st.locals.size() ? st.locals[slot]
+                                             : AbsVal{});
+                break;
+              }
+              case Op::Store: {
+                AbsVal v = pop();
+                auto slot = static_cast<std::size_t>(in.a);
+                if (slot < st.locals.size())
+                    st.locals[slot] = std::move(v);
+                break;
+              }
+              case Op::Dup:
+                if (st.stack.empty()) {
+                    bailed = true;
+                    break;
+                }
+                push(st.stack.back());
+                break;
+              case Op::Pop:
+                pop();
+                break;
+              case Op::Swap:
+                if (st.stack.size() < 2) {
+                    bailed = true;
+                    break;
+                }
+                std::swap(st.stack[st.stack.size() - 1],
+                          st.stack[st.stack.size() - 2]);
+                break;
+              case Op::Add: case Op::Sub: case Op::Mul:
+              case Op::Div: case Op::Mod:
+              case Op::CmpEq: case Op::CmpNe: case Op::CmpLt:
+              case Op::CmpLe: case Op::CmpGt: case Op::CmpGe:
+              case Op::And: case Op::Or:
+                pop();
+                pop();
+                push(AbsVal{});
+                break;
+              case Op::Neg:
+              case Op::Not:
+                pop();
+                push(AbsVal{});
+                break;
+              case Op::Jz:
+              case Op::Jnz:
+                pop();
+                break;
+              case Op::New: {
+                AbsVal v;
+                v.klass = static_cast<KlassId>(in.a);
+                v.fresh = true;
+                v.sites = {pc};
+                v.token = allocToken();
+                push(std::move(v));
+                break;
+              }
+              case Op::NewArr: {
+                pop(); // length
+                AbsVal v;
+                v.klass = static_cast<KlassId>(in.a);
+                v.fresh = true;
+                v.sites = {pc};
+                v.token = allocToken();
+                push(std::move(v));
+                break;
+              }
+              case Op::NewBytes: {
+                AbsVal v;
+                v.fresh = true;
+                v.sites = {pc};
+                v.token = allocToken();
+                push(std::move(v));
+                break;
+              }
+              case Op::BytesLen:
+              case Op::ArrLen:
+                pop();
+                push(AbsVal{});
+                break;
+              case Op::GetField:
+              case Op::GetVolatile: {
+                AbsVal recv = pop();
+                auto index = static_cast<uint32_t>(in.a);
+                if (mode == kCollect) {
+                    if (recv.klass != kNoKlass)
+                        sum.fields_read.insert({recv.klass, index});
+                    else
+                        sum.fields_read_any_klass.insert(index);
+                    if (in.op == Op::GetVolatile) {
+                        if (elidable(recv)) {
+                            ++sum.volatiles_elided;
+                        } else {
+                            sum.touches_shared_volatile = true;
+                            sum.sites.push_back(EffectSite{
+                                EffectSite::Kind::SharedVolatile,
+                                EffectDemand::Fallback, id, pc,
+                                "touches a volatile field (needs "
+                                "release consistency sync)"});
+                        }
+                    }
+                }
+                AbsVal v;
+                if (recv.klass != kNoKlass) {
+                    TypeHint h =
+                        program_.fieldHint(recv.klass, index);
+                    v.klass = h.type;
+                    v.elem = h.elem;
+                }
+                push(std::move(v));
+                break;
+              }
+              case Op::PutField:
+              case Op::PutVolatile: {
+                AbsVal val = pop();
+                AbsVal recv = pop();
+                if (mode == kEscape)
+                    escape(val);
+                if (mode == kCollect &&
+                    in.op == Op::PutVolatile) {
+                    if (elidable(recv)) {
+                        ++sum.volatiles_elided;
+                    } else {
+                        sum.touches_shared_volatile = true;
+                        sum.sites.push_back(EffectSite{
+                            EffectSite::Kind::SharedVolatile,
+                            EffectDemand::Fallback, id, pc,
+                            "touches a volatile field (needs "
+                            "release consistency sync)"});
+                    }
+                }
+                break;
+              }
+              case Op::ALoad: {
+                pop(); // index
+                AbsVal arr = pop();
+                AbsVal v;
+                v.klass = arr.elem;
+                if (arr.token.kind ==
+                    LockToken::Kind::StaticSlot) {
+                    v.token.kind = LockToken::Kind::StaticElem;
+                    v.token.klass = arr.token.klass;
+                    v.token.slot = arr.token.slot;
+                }
+                push(std::move(v));
+                break;
+              }
+              case Op::AStore: {
+                AbsVal val = pop();
+                pop(); // index
+                pop(); // array
+                if (mode == kEscape)
+                    escape(val);
+                break;
+              }
+              case Op::GetStatic: {
+                AbsVal v;
+                auto k = static_cast<KlassId>(in.a);
+                auto slot = static_cast<uint32_t>(in.b);
+                if (k < program_.klassCount() &&
+                    slot < program_.klass(k).statics.size()) {
+                    TypeHint h = program_.staticHint(k, slot);
+                    v.klass = h.type;
+                    v.elem = h.elem;
+                    v.token.kind = LockToken::Kind::StaticSlot;
+                    v.token.klass = k;
+                    v.token.slot = slot;
+                    if (mode == kCollect)
+                        sum.statics_read.insert({k, slot});
+                }
+                push(std::move(v));
+                break;
+              }
+              case Op::PutStatic: {
+                AbsVal val = pop();
+                if (mode == kEscape)
+                    escape(val);
+                if (mode == kCollect) {
+                    auto k = static_cast<KlassId>(in.a);
+                    auto slot = static_cast<uint32_t>(in.b);
+                    if (k < program_.klassCount() &&
+                        slot <
+                            program_.klass(k).statics.size()) {
+                        sum.statics_written.insert({k, slot});
+                        sum.sites.push_back(EffectSite{
+                            EffectSite::Kind::StaticWrite,
+                            EffectDemand::Fallback, id, pc,
+                            strprintf(
+                                "writes static %s.%s (needs "
+                                "write-back fallback)",
+                                program_.klass(k).name.c_str(),
+                                program_.klass(k)
+                                    .statics[slot]
+                                    .c_str())});
+                    }
+                }
+                break;
+              }
+              case Op::Call:
+              case Op::CallNative: {
+                auto callee_id = static_cast<MethodId>(in.a);
+                if (callee_id >= program_.methodCount()) {
+                    push(AbsVal{});
+                    break;
+                }
+                const Method &callee = program_.method(callee_id);
+                for (uint16_t i = 0; i < callee.num_args; ++i) {
+                    AbsVal arg = pop();
+                    if (mode == kEscape)
+                        escape(arg);
+                }
+                if (mode == kCollect)
+                    recordCall({callee_id});
+                push(AbsVal{});
+                break;
+              }
+              case Op::CallVirt: {
+                int64_t nargs = in.b;
+                if (nargs < 1 ||
+                    static_cast<std::size_t>(nargs) >
+                        st.stack.size()) {
+                    bailed = true;
+                    break;
+                }
+                AbsVal recv =
+                    st.stack[st.stack.size() -
+                             static_cast<std::size_t>(nargs)];
+                for (int64_t i = 0; i < nargs; ++i) {
+                    AbsVal arg = pop();
+                    if (mode == kEscape)
+                        escape(arg);
+                }
+                std::vector<MethodId> targets;
+                bool unresolved = false;
+                if (in.a >= 0 &&
+                    static_cast<std::size_t>(in.a) <
+                        program_.nameCount()) {
+                    auto name_id = static_cast<NameId>(in.a);
+                    if (recv.klass != kNoKlass) {
+                        // Receiver klass statically known: the
+                        // call devirtualizes to one target.
+                        MethodId r = program_.resolveVirtual(
+                            recv.klass, name_id);
+                        if (r != kNoMethod)
+                            targets.push_back(r);
+                        else
+                            unresolved = true;
+                    } else {
+                        auto it = methods_by_name_.find(
+                            program_.nameAt(name_id));
+                        if (it != methods_by_name_.end() &&
+                            !it->second.empty())
+                            targets = it->second;
+                        else
+                            unresolved = true;
+                    }
+                } else {
+                    unresolved = true;
+                }
+                if (mode == kCollect) {
+                    if (unresolved) {
+                        std::string name =
+                            in.a >= 0 &&
+                                    static_cast<std::size_t>(
+                                        in.a) <
+                                        program_.nameCount()
+                                ? program_.nameAt(
+                                      static_cast<NameId>(in.a))
+                                : strprintf("#%lld",
+                                            static_cast<long long>(
+                                                in.a));
+                        sum.unresolved_virtual = true;
+                        sum.sites.push_back(EffectSite{
+                            EffectSite::Kind::UnresolvedVirtual,
+                            EffectDemand::Fallback, id, pc,
+                            strprintf("virtual call %s resolves "
+                                      "to nothing statically",
+                                      name.c_str())});
+                    } else {
+                        recordCall(targets);
+                    }
+                }
+                push(AbsVal{});
+                break;
+              }
+              case Op::MonitorEnter: {
+                AbsVal v = pop();
+                if (mode == kCollect) {
+                    if (elidable(v)) {
+                        ++sum.monitors_elided;
+                    } else {
+                        if (v.token.kind !=
+                            LockToken::Kind::Unknown) {
+                            sum.locks.insert(v.token);
+                            for (const LockToken &h :
+                                 heldTokens()) {
+                                // Re-acquiring the same object is
+                                // reentrant, but two *distinct*
+                                // elements of one array are not.
+                                if (!(h == v.token) ||
+                                    h.kind ==
+                                        LockToken::Kind::
+                                            StaticElem)
+                                    lock_edges_[h].insert(
+                                        v.token);
+                            }
+                        }
+                        sum.sites.push_back(EffectSite{
+                            EffectSite::Kind::SharedMonitor,
+                            EffectDemand::Fallback, id, pc,
+                            "acquires a monitor (needs "
+                            "cross-endpoint synchronization "
+                            "fallback)"});
+                    }
+                }
+                st.held.push_back(std::move(v));
+                break;
+              }
+              case Op::MonitorExit:
+                pop();
+                if (!st.held.empty())
+                    st.held.pop_back();
+                break;
+              case Op::Ret:
+                if (mode == kEscape && !st.stack.empty())
+                    escape(st.stack.back());
+                return;
+            }
+
+            if (bailed)
+                return;
+            if (in.op == Op::Jmp) {
+                if (mode == kFlow && in.a >= 0 &&
+                    static_cast<std::size_t>(in.a) < n)
+                    joinInto(static_cast<uint32_t>(in.a), st);
+                return;
+            }
+            if ((in.op == Op::Jz || in.op == Op::Jnz) &&
+                mode == kFlow && in.a >= 0 &&
+                static_cast<std::size_t>(in.a) < n)
+                joinInto(static_cast<uint32_t>(in.a), st);
+        }
+        if (!bailed && mode == kFlow && end < n)
+            joinInto(end, st);
+    };
+
+    // Phase 1: fixpoint over block-entry states.
+    while (!work.empty() && !bailed) {
+        uint32_t leader = work.front();
+        work.pop_front();
+        queued.erase(leader);
+        runBlock(leader, states[leader], kFlow);
+    }
+    // Phase 2: collect the escape set with stable entry states.
+    if (!bailed)
+        for (const auto &[leader, st] : states)
+            runBlock(leader, st, kEscape);
+    // Phase 3: collect effects, calls and locks, now that
+    // elidability is decidable.
+    if (!bailed)
+        for (const auto &[leader, st] : states)
+            runBlock(leader, st, kCollect);
+
+    if (bailed) {
+        // Malformed bytecode the verifier flags separately; widen
+        // this method's effects to "unknown" so captures and
+        // classifications stay conservative.
+        sum.unresolved_virtual = true;
+        sum.sites.push_back(EffectSite{
+            EffectSite::Kind::UnresolvedVirtual,
+            EffectDemand::Fallback, id, 0,
+            "dataflow analysis could not model this method; "
+            "treating its effects as unknown"});
+    }
+
+    cg_.callees[id].assign(callees.begin(), callees.end());
+    cg_.natives[id].assign(natives.begin(), natives.end());
+}
+
+void
+ProgramAnalysis::condense()
+{
+    const std::size_t n = program_.methodCount();
+    cg_.scc_of.assign(n, UINT32_MAX);
+    std::vector<uint32_t> index(n, UINT32_MAX);
+    std::vector<uint32_t> low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<MethodId> stack;
+    uint32_t next_index = 0;
+
+    auto degree = [&](MethodId v) {
+        return cg_.callees[v].size() + cg_.natives[v].size();
+    };
+    auto adjAt = [&](MethodId v, std::size_t i) {
+        return i < cg_.callees[v].size()
+                   ? cg_.callees[v][i]
+                   : cg_.natives[v][i - cg_.callees[v].size()];
+    };
+
+    struct Frame
+    {
+        MethodId v;
+        std::size_t child;
+    };
+    for (MethodId root = 0; root < n; ++root) {
+        if (index[root] != UINT32_MAX)
+            continue;
+        std::vector<Frame> frames;
+        index[root] = low[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+        frames.push_back(Frame{root, 0});
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            if (f.child < degree(f.v)) {
+                MethodId w = adjAt(f.v, f.child++);
+                if (index[w] == UINT32_MAX) {
+                    index[w] = low[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                    frames.push_back(Frame{w, 0});
+                } else if (on_stack[w]) {
+                    low[f.v] = std::min(low[f.v], index[w]);
+                }
+                continue;
+            }
+            MethodId v = f.v;
+            frames.pop_back();
+            if (!frames.empty())
+                low[frames.back().v] =
+                    std::min(low[frames.back().v], low[v]);
+            if (low[v] == index[v]) {
+                // SCC completion order is reverse-topological, so
+                // ids come out bottom-up: callees before callers.
+                auto scc_id =
+                    static_cast<uint32_t>(cg_.sccs.size());
+                cg_.sccs.emplace_back();
+                while (true) {
+                    MethodId w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    cg_.scc_of[w] = scc_id;
+                    cg_.sccs[scc_id].push_back(w);
+                    if (w == v)
+                        break;
+                }
+            }
+        }
+    }
+}
+
+void
+ProgramAnalysis::computeTransitive()
+{
+    // Bottom-up over the condensation. Within an SCC every member
+    // collapses onto one joined summary -- the "widening at
+    // recursion": context is dropped, the finite union lattice
+    // guarantees the fixpoint in one pass.
+    for (uint32_t s = 0; s < cg_.sccs.size(); ++s) {
+        EffectSummary joined;
+        for (MethodId m : cg_.sccs[s]) {
+            joined.join(intra_[m]);
+            for (MethodId c : cg_.callees[m])
+                if (cg_.scc_of[c] != s)
+                    joined.join(transitive_[c]);
+            for (MethodId c : cg_.natives[m])
+                if (cg_.scc_of[c] != s)
+                    joined.join(transitive_[c]);
+        }
+        for (MethodId m : cg_.sccs[s])
+            transitive_[m] = joined;
+    }
+}
+
+void
+ProgramAnalysis::buildLockGraph()
+{
+    // Interprocedural edges: a call made while holding H can
+    // acquire every lock in the callee subtree's transitive set.
+    for (MethodId m = 0; m < locked_calls_.size(); ++m) {
+        for (const LockedCall &lc : locked_calls_[m]) {
+            for (MethodId c : lc.callees) {
+                for (const LockToken &t :
+                     transitive_[c].locks) {
+                    for (const LockToken &h : lc.held) {
+                        if (!(h == t) ||
+                            h.kind ==
+                                LockToken::Kind::StaticElem)
+                            lock_edges_[h].insert(t);
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: Tarjan over the token graph; any SCC with
+    // more than one node -- or a self-loop -- is a potential
+    // deadlock.
+    std::vector<LockToken> nodes;
+    std::map<LockToken, uint32_t> node_id;
+    auto intern = [&](const LockToken &t) {
+        auto it = node_id.find(t);
+        if (it != node_id.end())
+            return it->second;
+        auto fresh_id = static_cast<uint32_t>(nodes.size());
+        node_id[t] = fresh_id;
+        nodes.push_back(t);
+        return fresh_id;
+    };
+    std::vector<std::vector<uint32_t>> adj;
+    for (const auto &[from, tos] : lock_edges_) {
+        uint32_t f = intern(from);
+        if (adj.size() <= f)
+            adj.resize(nodes.size());
+        for (const LockToken &to : tos) {
+            uint32_t t = intern(to);
+            if (adj.size() < nodes.size())
+                adj.resize(nodes.size());
+            adj[f].push_back(t);
+        }
+    }
+    adj.resize(nodes.size());
+
+    const std::size_t n = nodes.size();
+    std::vector<uint32_t> index(n, UINT32_MAX), low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<uint32_t> stack;
+    uint32_t next_index = 0;
+    struct Frame
+    {
+        uint32_t v;
+        std::size_t child;
+    };
+    for (uint32_t root = 0; root < n; ++root) {
+        if (index[root] != UINT32_MAX)
+            continue;
+        std::vector<Frame> frames;
+        index[root] = low[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+        frames.push_back(Frame{root, 0});
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            if (f.child < adj[f.v].size()) {
+                uint32_t w = adj[f.v][f.child++];
+                if (index[w] == UINT32_MAX) {
+                    index[w] = low[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                    frames.push_back(Frame{w, 0});
+                } else if (on_stack[w]) {
+                    low[f.v] = std::min(low[f.v], index[w]);
+                }
+                continue;
+            }
+            uint32_t v = f.v;
+            frames.pop_back();
+            if (!frames.empty())
+                low[frames.back().v] =
+                    std::min(low[frames.back().v], low[v]);
+            if (low[v] == index[v]) {
+                std::vector<uint32_t> members;
+                while (true) {
+                    uint32_t w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    members.push_back(w);
+                    if (w == v)
+                        break;
+                }
+                bool self_loop = false;
+                if (members.size() == 1) {
+                    for (uint32_t w : adj[members[0]])
+                        if (w == members[0])
+                            self_loop = true;
+                }
+                if (members.size() > 1 || self_loop) {
+                    LockCycle cycle;
+                    for (auto it = members.rbegin();
+                         it != members.rend(); ++it)
+                        cycle.tokens.push_back(nodes[*it]);
+                    cycles_.push_back(std::move(cycle));
+                }
+            }
+        }
+    }
+}
+
+std::vector<MethodId>
+ProgramAnalysis::reachableFrom(MethodId root) const
+{
+    std::vector<MethodId> out;
+    if (root >= program_.methodCount())
+        return out;
+    std::set<MethodId> visited{root};
+    std::deque<MethodId> work{root};
+    while (!work.empty()) {
+        MethodId id = work.front();
+        work.pop_front();
+        for (const auto *edges : {&cg_.callees[id], &cg_.natives[id]})
+            for (MethodId c : *edges)
+                if (visited.insert(c).second)
+                    work.push_back(c);
+    }
+    out.assign(visited.begin(), visited.end());
+    return out;
+}
+
+CaptureSet
+ProgramAnalysis::captureForRoot(MethodId root) const
+{
+    CaptureSet cap;
+    if (root >= program_.methodCount()) {
+        cap.all_fields = true;
+        return cap;
+    }
+    const EffectSummary &t = transitive_[root];
+    cap.statics = t.statics_read;
+    cap.statics.insert(t.statics_written.begin(),
+                       t.statics_written.end());
+    cap.fields = t.fields_read;
+    cap.any_klass_fields = t.fields_read_any_klass;
+    cap.full_klasses = t.klasses_fully_read;
+    cap.all_fields = t.unresolved_virtual;
+    return cap;
+}
+
+} // namespace beehive::vm

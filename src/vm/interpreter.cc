@@ -60,6 +60,7 @@ Interpreter::clearRecording()
 {
     recorded_klasses_.clear();
     recorded_statics_.clear();
+    recorded_field_reads_.clear();
 }
 
 void
@@ -449,6 +450,10 @@ Interpreter::step(Suspend &out)
         if (!resolveRef(peek(), out))
             return StepResult::Suspended;
         Ref obj = peek().asRef();
+        if (recording_)
+            recorded_field_reads_.insert(
+                {ctx_.heap().header(obj).klass,
+                 static_cast<uint32_t>(in.a)});
         Value v = ctx_.heap().field(obj,
                                     static_cast<uint32_t>(in.a));
         if (ctx_.config().check_remote_refs && v.isRef() &&
@@ -637,6 +642,10 @@ Interpreter::step(Suspend &out)
             ctx_.monitorReleased(target); // release edge
         } else {
             Ref target = pop().asRef();
+            if (recording_)
+                recorded_field_reads_.insert(
+                    {ctx_.heap().header(target).klass,
+                     static_cast<uint32_t>(in.a)});
             push(ctx_.heap().field(target,
                                    static_cast<uint32_t>(in.a)));
         }

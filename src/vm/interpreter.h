@@ -173,6 +173,12 @@ class Interpreter
     {
         return recorded_statics_;
     }
+    /** (receiver klass, field index) pairs actually read. */
+    const std::set<std::pair<KlassId, uint32_t>> &
+    recordedFieldReads() const
+    {
+        return recorded_field_reads_;
+    }
     void clearRecording();
     /// @}
 
@@ -236,6 +242,7 @@ class Interpreter
     bool recording_ = false;
     std::set<KlassId> recorded_klasses_;
     std::set<std::pair<KlassId, uint32_t>> recorded_statics_;
+    std::set<std::pair<KlassId, uint32_t>> recorded_field_reads_;
     InterpStats stats_;
 };
 

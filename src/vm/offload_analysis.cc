@@ -1,8 +1,6 @@
 #include "vm/offload_analysis.h"
 
 #include <algorithm>
-#include <deque>
-#include <set>
 
 #include "support/strutil.h"
 
@@ -10,19 +8,6 @@ namespace beehive::vm {
 
 namespace {
 
-const char *
-categoryName(NativeCategory c)
-{
-    switch (c) {
-      case NativeCategory::PureOnHeap: return "pure-on-heap";
-      case NativeCategory::HiddenState: return "hidden-state";
-      case NativeCategory::Network: return "network";
-      case NativeCategory::Stateless: return "stateless";
-    }
-    return "?";
-}
-
-/** Keep only the strongest reason per (method, message) shape. */
 bool
 worse(OffloadClass a, OffloadClass b)
 {
@@ -61,10 +46,8 @@ toString(const RootReport &report, const Program &program)
 }
 
 OffloadAnalysis::OffloadAnalysis(const Program &program)
-    : program_(program)
+    : program_(program), analysis_(program)
 {
-    for (MethodId id = 0; id < program_.methodCount(); ++id)
-        methods_by_name_[program_.method(id).name].push_back(id);
 }
 
 RootReport
@@ -75,146 +58,27 @@ OffloadAnalysis::classifyRoot(MethodId root) const
     if (root >= program_.methodCount())
         return report;
 
-    std::set<MethodId> visited;
-    std::deque<MethodId> work;
-    visited.insert(root);
-    work.push_back(root);
-
-    auto reason = [&](OffloadClass demands, MethodId method,
-                      uint32_t pc, std::string msg) {
-        if (worse(demands, report.klass))
-            report.klass = demands;
-        OffloadReason r;
-        r.demands = demands;
-        r.method = method;
-        r.pc = pc;
-        r.message = std::move(msg);
-        report.reasons.push_back(std::move(r));
-    };
-
-    // Shared by CallNative sites and natives reached through
-    // CallVirt widening.
-    auto classifyNative = [&](MethodId native_id, MethodId site,
-                              uint32_t pc) {
-        const Method &native = program_.method(native_id);
-        switch (native.native_category) {
-          case NativeCategory::PureOnHeap:
-          case NativeCategory::Stateless:
-            break; // offload-safe
-          case NativeCategory::HiddenState:
-          case NativeCategory::Network: {
-            bool packageable =
-                native.owner != kNoKlass &&
-                program_.klass(native.owner).packageable;
-            if (packageable)
-                reason(OffloadClass::NeedsFallback, site, pc,
-                       strprintf("calls %s native %s on Packageable "
-                                 "%s (fallback/pack handles it)",
-                                 categoryName(
-                                     native.native_category),
-                                 native.name.c_str(),
-                                 program_.klass(native.owner)
-                                     .name.c_str()));
-            else
-                reason(OffloadClass::LocalOnly, site, pc,
-                       strprintf("calls %s native %s on "
-                                 "non-Packageable owner -- off-heap "
-                                 "state cannot be rebuilt on FaaS",
-                                 categoryName(
-                                     native.native_category),
-                                 native.name.c_str()));
-            break;
-          }
-        }
-    };
-
-    while (!work.empty()) {
-        MethodId id = work.front();
-        work.pop_front();
-        const Method &m = program_.method(id);
-
-        if (m.is_native) {
-            // Reached through CallVirt widening (CallNative sites
-            // classify their target before enqueueing it).
-            classifyNative(id, id, 0);
-            continue;
-        }
-
-        for (uint32_t pc = 0; pc < m.code.size(); ++pc) {
-            const Instr &in = m.code[pc];
-            switch (in.op) {
-              case Op::PutStatic:
-                reason(OffloadClass::NeedsFallback, id, pc,
-                       strprintf("writes static %s.%s (needs "
-                                 "write-back fallback)",
-                                 program_
-                                     .klass(static_cast<KlassId>(
-                                         in.a))
-                                     .name.c_str(),
-                                 program_
-                                     .klass(static_cast<KlassId>(
-                                         in.a))
-                                     .statics[static_cast<
-                                         std::size_t>(in.b)]
-                                     .c_str()));
-                break;
-              case Op::MonitorEnter:
-                reason(OffloadClass::NeedsFallback, id, pc,
-                       "acquires a monitor (needs cross-endpoint "
-                       "synchronization fallback)");
-                break;
-              case Op::GetVolatile:
-              case Op::PutVolatile:
-                reason(OffloadClass::NeedsFallback, id, pc,
-                       "touches a volatile field (needs release "
-                       "consistency sync)");
-                break;
-              case Op::Call: {
-                MethodId callee = static_cast<MethodId>(in.a);
-                if (callee < program_.methodCount() &&
-                    visited.insert(callee).second)
-                    work.push_back(callee);
-                break;
-              }
-              case Op::CallNative: {
-                MethodId callee = static_cast<MethodId>(in.a);
-                if (callee >= program_.methodCount())
-                    break;
-                if (visited.insert(callee).second)
-                    classifyNative(callee, id, pc);
-                break;
-              }
-              case Op::CallVirt: {
-                if (static_cast<std::size_t>(in.a) >=
-                    program_.nameCount())
-                    break;
-                const std::string &name =
-                    program_.nameAt(static_cast<NameId>(in.a));
-                auto it = methods_by_name_.find(name);
-                if (it == methods_by_name_.end()) {
-                    reason(OffloadClass::NeedsFallback, id, pc,
-                           strprintf("virtual call %s resolves to "
-                                     "nothing statically",
-                                     name.c_str()));
-                    break;
-                }
-                for (MethodId callee : it->second) {
-                    if (visited.insert(callee).second)
-                        work.push_back(callee);
-                }
-                break;
-              }
-              default:
-                break;
-            }
+    report.reachable = analysis_.reachableFrom(root);
+    for (MethodId id : report.reachable) {
+        for (const EffectSite &site :
+             analysis_.methodSummary(id).sites) {
+            OffloadReason r;
+            r.demands = site.demand == EffectDemand::LocalOnly
+                            ? OffloadClass::LocalOnly
+                            : OffloadClass::NeedsFallback;
+            r.method = site.method;
+            r.pc = site.pc;
+            r.message = site.message;
+            if (worse(r.demands, report.klass))
+                report.klass = r.demands;
+            report.reasons.push_back(std::move(r));
         }
     }
-
-    report.reachable.assign(visited.begin(), visited.end());
-    std::sort(report.reasons.begin(), report.reasons.end(),
-              [](const OffloadReason &a, const OffloadReason &b) {
-                  return worse(a.demands, b.demands);
-              });
+    std::stable_sort(report.reasons.begin(), report.reasons.end(),
+                     [](const OffloadReason &a,
+                        const OffloadReason &b) {
+                         return worse(a.demands, b.demands);
+                     });
     return report;
 }
 

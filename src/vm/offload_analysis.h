@@ -4,10 +4,11 @@
  *
  * The OffloadManager decides *when* to offload; this pass answers
  * *whether* an endpoint root can be offloaded at all, before a single
- * request runs. It walks the call graph from a root -- `Call` and
- * `CallNative` resolve statically, `CallVirt` conservatively unions
- * every same-named method in the program -- and classifies the root
- * by what the reachable methods do:
+ * request runs. It reads the interprocedural effect summaries from
+ * vm/analysis.h -- `Call` and `CallNative` resolve statically,
+ * `CallVirt` devirtualizes when the receiver klass is statically
+ * known and otherwise unions every same-named method in the program
+ * -- and classifies the root by what the reachable methods do:
  *
  *   - **OffloadSafe**: only pure-on-heap / stateless natives, no
  *     static writes, no monitors. A function instance can run this
@@ -27,10 +28,10 @@
 #ifndef BEEHIVE_VM_OFFLOAD_ANALYSIS_H
 #define BEEHIVE_VM_OFFLOAD_ANALYSIS_H
 
-#include <map>
 #include <string>
 #include <vector>
 
+#include "vm/analysis.h"
 #include "vm/program.h"
 
 namespace beehive::vm {
@@ -69,7 +70,14 @@ struct RootReport
 std::string toString(const RootReport &report,
                      const Program &program);
 
-/** Call-graph walk + classification. Build once per Program. */
+/**
+ * Classification facade over the interprocedural framework
+ * (vm/analysis.h). PR 1's hand-rolled call-graph walk is gone: the
+ * reachable set, the per-site reasons, and the class now all come
+ * from effect summaries, which also buys monitor/volatile elision --
+ * a root whose only monitors guard freshly allocated, non-escaping
+ * objects is OffloadSafe where the coarse walk said NeedsFallback.
+ */
 class OffloadAnalysis
 {
   public:
@@ -84,10 +92,18 @@ class OffloadAnalysis
         return classifyRoot(root).klass;
     }
 
+    /** Minimal capture set for @p root (closure slimming). */
+    CaptureSet captureForRoot(MethodId root) const
+    {
+        return analysis_.captureForRoot(root);
+    }
+
+    /** The underlying framework (summaries, lock graph, ...). */
+    const ProgramAnalysis &analysis() const { return analysis_; }
+
   private:
     const Program &program_;
-    /** name -> every method with that name (CallVirt widening). */
-    std::map<std::string, std::vector<MethodId>> methods_by_name_;
+    ProgramAnalysis analysis_;
 };
 
 } // namespace beehive::vm

@@ -147,6 +147,53 @@ Program::fieldCount(KlassId id) const
     return count;
 }
 
+void
+Program::hintStatic(KlassId klass_id, uint32_t slot, KlassId type,
+                    KlassId elem)
+{
+    Klass &k = klass(klass_id);
+    bh_assert(slot < k.statics.size(), "bad static slot %u", slot);
+    if (k.static_hints.size() <= slot)
+        k.static_hints.resize(k.statics.size());
+    k.static_hints[slot] = TypeHint{type, elem};
+}
+
+void
+Program::hintField(KlassId klass_id, uint32_t index, KlassId type,
+                   KlassId elem)
+{
+    Klass &k = klass(klass_id);
+    bh_assert(index < fieldCount(klass_id), "bad field index %u", index);
+    if (k.field_hints.size() <= index)
+        k.field_hints.resize(index + 1);
+    k.field_hints[index] = TypeHint{type, elem};
+}
+
+TypeHint
+Program::staticHint(KlassId klass_id, uint32_t slot) const
+{
+    const Klass &k = klass(klass_id);
+    if (slot < k.static_hints.size())
+        return k.static_hints[slot];
+    return TypeHint{};
+}
+
+TypeHint
+Program::fieldHint(KlassId klass_id, uint32_t index) const
+{
+    // Field indices are flat across the super chain, so any klass in
+    // the chain may carry the declaration.
+    KlassId k = klass_id;
+    while (k != kNoKlass) {
+        const Klass &kl = klass(k);
+        if (index < kl.field_hints.size()
+            && kl.field_hints[index].type != kNoKlass)
+            return kl.field_hints[index];
+        k = kl.super;
+    }
+    return TypeHint{};
+}
+
 std::string
 Program::qualifiedName(MethodId id) const
 {

@@ -117,6 +117,19 @@ struct Method
     bool hasAnnotation(const std::string &name) const;
 };
 
+/**
+ * Declared type of a static slot or instance field. HiveVM slots are
+ * dynamically typed, so hints are optional metadata the static
+ * analyses use to resolve receivers (a real class file would carry
+ * them in field descriptors). @c elem is the element klass when the
+ * declared value is an array.
+ */
+struct TypeHint
+{
+    KlassId type = kNoKlass;
+    KlassId elem = kNoKlass;
+};
+
 /** A klass: fields, methods, inheritance, transfer size. */
 struct Klass
 {
@@ -130,6 +143,9 @@ struct Klass
     uint32_t code_bytes = 1024;        //!< class-file size (transfer)
     /** Klasses this klass's code references (closure traversal). */
     std::vector<KlassId> references;
+    /** Declared static/field types (lazily sized; see TypeHint). */
+    std::vector<TypeHint> static_hints;
+    std::vector<TypeHint> field_hints;
 };
 
 /** The immutable program: all klasses + methods + string pool. */
@@ -167,6 +183,17 @@ class Program
 
     /** Total instance field count including inherited fields. */
     uint32_t fieldCount(KlassId id) const;
+
+    /** Declare the type of statics[klass][slot] (see TypeHint). */
+    void hintStatic(KlassId klass, uint32_t slot, KlassId type,
+                    KlassId elem = kNoKlass);
+    /** Declare the type of instance field @p index on @p klass. */
+    void hintField(KlassId klass, uint32_t index, KlassId type,
+                   KlassId elem = kNoKlass);
+    /** Hint for a static slot; default-constructed when undeclared. */
+    TypeHint staticHint(KlassId klass, uint32_t slot) const;
+    /** Hint for an instance field; walks the super chain. */
+    TypeHint fieldHint(KlassId klass, uint32_t index) const;
 
     std::size_t klassCount() const { return klasses_.size(); }
     std::size_t methodCount() const { return methods_.size(); }

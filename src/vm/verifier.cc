@@ -479,8 +479,15 @@ Verifier::analyzeDataflow(MethodId id, const Method &m,
     const std::size_t n = m.code.size();
     const bool strict = options_.strict_types;
 
+    // The worklist re-executes a block whenever its entry state
+    // changes, so body checks run more than once; report each
+    // (pc, code) finding only the first time it fires.
+    std::set<std::pair<uint32_t, uint8_t>> reported;
     auto emit = [&](Severity sev, DiagCode code, uint32_t pc,
                     std::string msg) {
+        if (!reported.insert({pc, static_cast<uint8_t>(code)})
+                 .second)
+            return;
         Diagnostic d;
         d.severity = sev;
         d.code = code;

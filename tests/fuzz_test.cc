@@ -25,6 +25,7 @@
 
 #include "gc/collector.h"
 #include "support/rng.h"
+#include "vm/analysis.h"
 #include "vm/code_builder.h"
 #include "vm/context.h"
 #include "vm/heap.h"
@@ -197,6 +198,68 @@ TEST_P(FuzzProperty, DeterministicAndGcTransparent)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProperty,
                          ::testing::Range<uint64_t>(1, 33));
+
+TEST_P(FuzzProperty, StaticCaptureCoversDynamicReads)
+{
+    // 4. Capture soundness: every (klass, field) pair and every
+    //    static the interpreter actually reads must be inside the
+    //    static capture set the escape analysis computed for the
+    //    entry -- otherwise closure slimming could prune data the
+    //    offloaded execution needs (safe thanks to the missing-data
+    //    fallback, but the analysis promises not to).
+    Program program;
+    Klass obj;
+    obj.name = "Object";
+    KlassId object_k = program.addKlass(obj);
+    Klass node;
+    node.name = "Node";
+    node.fields = {"next", "payload"};
+    KlassId node_k = program.addKlass(node);
+    MethodId entry =
+        generateProgram(program, object_k, node_k, GetParam());
+
+    CaptureSet capture =
+        ProgramAnalysis(program).captureForRoot(entry);
+
+    NativeRegistry natives;
+    Heap heap(program, 1 << 16, 1 << 20);
+    VmConfig cfg;
+    cfg.array_klass = object_k;
+    VmContext ctx(program, natives, heap, cfg);
+    ctx.loadAll();
+    gc::SemiSpaceCollector collector(heap);
+    Interpreter interp(ctx);
+    collector.addValueRoots(
+        [&](const auto &visit) { interp.forEachRoot(visit); });
+    interp.enableRecording(true);
+
+    interp.start(entry, {});
+    while (true) {
+        Suspend s = interp.run();
+        if (s.kind == Suspend::Kind::Done)
+            break;
+        if (s.kind == Suspend::Kind::Quantum)
+            continue;
+        if (s.kind == Suspend::Kind::HeapFull) {
+            collector.collect();
+            continue;
+        }
+        FAIL() << "unexpected suspension "
+               << static_cast<int>(s.kind);
+    }
+
+    for (const auto &[klass, index] : interp.recordedFieldReads())
+        EXPECT_TRUE(capture.containsField(klass, index))
+            << "dynamic read of klass " << klass << " field "
+            << index << " outside the static capture, seed "
+            << GetParam();
+    if (!capture.all_fields) {
+        for (const auto &s : interp.recordedStatics())
+            EXPECT_TRUE(capture.statics.count(s))
+                << "dynamic static access outside the capture, "
+                << "seed " << GetParam();
+    }
+}
 
 // -------------------------------------------------------------------
 // Verifier as crash oracle over raw instruction streams.

@@ -348,6 +348,38 @@ TEST(VerifierTest, UnreachableCodeIsWarning)
     EXPECT_TRUE(hasCode(r, DiagCode::UnreachableCode));
 }
 
+TEST(VerifierTest, LoopRevisitDoesNotDuplicateDiagnostics)
+{
+    // The loop head's entry state changes on the back edge (local 0
+    // widens from const 0 to const 1, local 1 from nil to any), so
+    // the worklist re-executes the body. The TypeMismatch at pc 3
+    // must still be reported exactly once.
+    TestProgram t;
+    MethodId m = t.method("m",
+                          {
+                              ins(Op::PushI, 0),    // 0
+                              ins(Op::Store, 0),    // 1
+                              ins(Op::PushI, 7),    // 2: loop head
+                              ins(Op::GetField, 0), // 3: int deref!
+                              ins(Op::Store, 1),    // 4
+                              ins(Op::PushI, 1),    // 5
+                              ins(Op::Store, 0),    // 6
+                              ins(Op::Load, 0),     // 7
+                              ins(Op::Jz, 2),       // 8 -> head
+                              ins(Op::PushI, 0),    // 9
+                              ins(Op::Ret),         // 10
+                          },
+                          /*num_args=*/0, /*num_locals=*/2);
+    VerifyResult r = t.verify(m);
+    EXPECT_FALSE(r.ok());
+    int mismatches = 0;
+    for (const Diagnostic &d : r.diagnostics)
+        if (d.code == DiagCode::TypeMismatch && d.pc == 3)
+            ++mismatches;
+    EXPECT_EQ(mismatches, 1)
+        << "worklist revisits must not re-emit body diagnostics";
+}
+
 // ---- Well-formed control flow is accepted -------------------------
 
 TEST(VerifierTest, AcceptsLoopWithMergedState)
@@ -502,14 +534,15 @@ TEST(OffloadAnalysisTest, PackageableNativeNeedsFallbackOnly)
 
 TEST(OffloadAnalysisTest, TransitiveCallGraphIsWalked)
 {
-    // root -> mid -> leaf(monitor): the reason surfaces from two
-    // call edges away.
+    // root -> mid -> leaf(monitor on a shared static): the reason
+    // surfaces from two call edges away. The monitored object must
+    // come from a static so escape analysis cannot elide it.
     TestProgram t;
     MethodId leaf = t.method("leaf",
                              {
-                                 ins(Op::New, t.k),
+                                 ins(Op::GetStatic, t.k, 0),
                                  ins(Op::MonitorEnter),
-                                 ins(Op::New, t.k),
+                                 ins(Op::GetStatic, t.k, 0),
                                  ins(Op::MonitorExit),
                                  ins(Op::Ret),
                              });
