@@ -10,16 +10,23 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "harness/testbed.h"
 
 namespace beehive::bench {
 
-/** Common CLI: --seed N, --quick (shorter runs for smoke tests). */
+/**
+ * Common CLI: --seed N, --quick (shorter runs for smoke tests),
+ * --app NAME (restrict to one app), --native-scale N (override the
+ * framework's native loop scale; smaller = faster simulation).
+ */
 struct BenchArgs
 {
     uint64_t seed = 1;
     bool quick = false;
+    int native_scale = 0; //!< 0 = bench default
+    std::string app;      //!< empty = all apps
 };
 
 inline BenchArgs
@@ -31,6 +38,12 @@ parseArgs(int argc, char **argv)
             args.seed = std::strtoull(argv[++i], nullptr, 10);
         else if (std::strcmp(argv[i], "--quick") == 0)
             args.quick = true;
+        else if (std::strcmp(argv[i], "--native-scale") == 0 &&
+                 i + 1 < argc)
+            args.native_scale =
+                static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "--app") == 0 && i + 1 < argc)
+            args.app = argv[++i];
     }
     return args;
 }
@@ -46,11 +59,38 @@ benchFramework()
     return fw;
 }
 
+/** benchFramework() with the CLI's --native-scale override. */
+inline apps::FrameworkOptions
+benchFramework(const BenchArgs &args)
+{
+    apps::FrameworkOptions fw = benchFramework();
+    if (args.native_scale > 0)
+        fw.native_scale = args.native_scale;
+    return fw;
+}
+
 inline const harness::AppKind kAllApps[] = {
     harness::AppKind::Thumbnail,
     harness::AppKind::Pybbs,
     harness::AppKind::Blog,
 };
+
+/** Apps selected by --app (all three when unset or unmatched). */
+inline std::vector<harness::AppKind>
+appsFor(const BenchArgs &args)
+{
+    std::vector<harness::AppKind> apps;
+    for (harness::AppKind app : kAllApps) {
+        if (args.app.empty() || args.app == harness::appName(app))
+            apps.push_back(app);
+    }
+    if (apps.empty()) {
+        std::fprintf(stderr, "unknown --app %s; running all\n",
+                     args.app.c_str());
+        apps.assign(std::begin(kAllApps), std::end(kAllApps));
+    }
+    return apps;
+}
 
 } // namespace beehive::bench
 

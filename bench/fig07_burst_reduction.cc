@@ -11,7 +11,9 @@
  * Semi-FaaS execution (+15% OpenWhisk / +31% Lambda vs EC2).
  */
 
+#include <cmath>
 #include <map>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "harness/burst.h"
@@ -32,16 +34,19 @@ main(int argc, char **argv)
         Solution::BeeHiveO, Solution::BeeHiveL,
     };
 
+    const std::vector<AppKind> apps = appsFor(args);
+
     std::map<AppKind, std::map<Solution, BurstResult>> results;
     std::map<AppKind, std::map<Solution, BurstResult>> warm_results;
+    std::map<AppKind, std::map<Solution, BurstResult>> snap_results;
 
-    for (AppKind app : kAllApps) {
+    for (AppKind app : apps) {
         for (Solution sol : solutions) {
             BurstOptions opts;
             opts.app = app;
             opts.solution = sol;
             opts.seed = args.seed;
-            opts.framework = benchFramework();
+            opts.framework = benchFramework(args);
             if (args.quick) {
                 opts.duration = SimTime::sec(90);
                 opts.burst_at = SimTime::sec(30);
@@ -51,12 +56,15 @@ main(int argc, char **argv)
                 sol == Solution::BeeHiveL) {
                 opts.warm_faas = true;
                 warm_results[app][sol] = runBurstExperiment(opts);
+                opts.warm_faas = false;
+                opts.snapshot_faas = true;
+                snap_results[app][sol] = runBurstExperiment(opts);
             }
         }
     }
 
     // --- The figure series.
-    for (AppKind app : kAllApps) {
+    for (AppKind app : apps) {
         printSeriesHeader(
             std::string("Figure 7: per-second p99, ") + appName(app),
             "second", "p99_s");
@@ -71,7 +79,7 @@ main(int argc, char **argv)
 
     // --- Stabilization summary.
     std::vector<std::vector<std::string>> rows;
-    for (AppKind app : kAllApps) {
+    for (AppKind app : apps) {
         for (Solution sol : solutions) {
             const BurstResult &r = results[app][sol];
             rows.push_back(
@@ -90,7 +98,7 @@ main(int argc, char **argv)
     // --- Warm-boot (cached instances) variant: the sub-second
     // provisioning headline.
     rows.clear();
-    for (AppKind app : kAllApps) {
+    for (AppKind app : apps) {
         for (Solution sol : {Solution::BeeHiveO, Solution::BeeHiveL}) {
             const BurstResult &r = warm_results[app][sol];
             rows.push_back({appName(app), solutionName(sol),
@@ -102,11 +110,66 @@ main(int argc, char **argv)
                {"app", "solution", "stabilize_ms", "stable_p99_ms"},
                rows);
 
+    // --- Snapshot (restore boot) variant: fresh instances boot
+    // from recorded closure images, so the burst's shadow phase
+    // runs without its remote-fetch storm.
+    rows.clear();
+    for (AppKind app : apps) {
+        for (Solution sol : {Solution::BeeHiveO, Solution::BeeHiveL}) {
+            const BurstResult &r = snap_results[app][sol];
+            const BurstResult &cold = results[app][sol];
+            auto shadowFetches = [](const BurstResult &br,
+                                    cloud::BootKind kind) {
+                uint64_t fetches = 0;
+                uint64_t n = 0;
+                for (const auto &[root, t] : br.traces) {
+                    if (t.boot != kind || !t.shadow)
+                        continue;
+                    fetches += t.remoteFetches();
+                    ++n;
+                }
+                return n ? static_cast<double>(fetches) /
+                               static_cast<double>(n)
+                         : std::nan("");
+            };
+            rows.push_back(
+                {appName(app), solutionName(sol),
+                 fmt(r.stabilization_seconds, 2),
+                 fmt(cold.stabilization_seconds, 2),
+                 fmt(r.stable_p99 * 1e3, 1),
+                 fmt(static_cast<double>(r.restore_boots), 0),
+                 fmt(static_cast<double>(r.cold_boots), 0),
+                 fmt(shadowFetches(r, cloud::BootKind::Restore), 1),
+                 fmt(shadowFetches(cold, cloud::BootKind::Cold), 1)});
+        }
+    }
+    printTable("Figure 7 follow-up: restore boots from snapshot "
+               "images",
+               {"app", "solution", "stabilize_s", "cold_stabilize_s",
+                "stable_p99_ms", "restore_boots", "cold_boots",
+                "fetch/restore_shadow", "fetch/cold_shadow"},
+               rows);
+    for (AppKind app : apps) {
+        for (Solution sol : {Solution::BeeHiveO, Solution::BeeHiveL}) {
+            const BurstResult &r = snap_results[app][sol];
+            auto name = [&r](vm::MethodId root) {
+                auto it = r.root_names.find(root);
+                return it != r.root_names.end()
+                           ? it->second
+                           : std::to_string(root);
+            };
+            printBootBreakdown(
+                std::string("Boot-path breakdown (snapshot run): ") +
+                    appName(app) + ", " + solutionName(sol),
+                name, collectBootBreakdown(r.traces));
+        }
+    }
+
     // --- Headline aggregates (Section 5.2).
     auto mean_stab = [&](Solution sol, bool warm) {
         double sum = 0;
         int n = 0;
-        for (AppKind app : kAllApps) {
+        for (AppKind app : apps) {
             const BurstResult &r =
                 warm ? warm_results[app][sol] : results[app][sol];
             if (r.stabilization_seconds >= 0) {
@@ -119,7 +182,7 @@ main(int argc, char **argv)
     auto mean_overhead_vs = [&](Solution sol, Solution base) {
         double sum = 0;
         int n = 0;
-        for (AppKind app : kAllApps) {
+        for (AppKind app : apps) {
             double b = results[app][base].stable_p99;
             double s = results[app][sol].stable_p99;
             if (b > 0 && s > 0) {
@@ -150,5 +213,25 @@ main(int argc, char **argv)
                                  Solution::OnDemand),
                 mean_overhead_vs(Solution::BeeHiveL,
                                  Solution::OnDemand));
+
+    auto mean_snap_stab = [&](Solution sol) {
+        double sum = 0;
+        int n = 0;
+        for (AppKind app : apps) {
+            const BurstResult &r = snap_results[app][sol];
+            if (r.stabilization_seconds >= 0) {
+                sum += r.stabilization_seconds;
+                ++n;
+            }
+        }
+        return n ? sum / n : -1.0;
+    };
+    std::printf("mean stabilization (snapshot restore boots): "
+                "BeeHiveO %.2f s vs %.2f s cold, BeeHiveL %.2f s "
+                "vs %.2f s cold\n",
+                mean_snap_stab(Solution::BeeHiveO),
+                mean_stab(Solution::BeeHiveO, false),
+                mean_snap_stab(Solution::BeeHiveL),
+                mean_stab(Solution::BeeHiveL, false));
     return 0;
 }

@@ -38,6 +38,10 @@ struct Analysis
     double shadow_fetch_ms = 0;
     uint64_t shadow_count = 0;
     uint64_t steady_count = 0;
+
+    /** Per-endpoint boot-path breakdown of the same run. */
+    std::vector<BootBreakdownRow> boots;
+    std::map<vm::MethodId, std::string> root_names;
 };
 
 Analysis
@@ -95,6 +99,9 @@ analyze(AppKind app, const BenchArgs &args)
         out.steady_fetches /= out.steady_count;
         out.steady_sync_objects /= out.steady_count;
     }
+    out.boots = collectBootBreakdown(bed.manager()->traces());
+    for (const BootBreakdownRow &r : out.boots)
+        out.root_names[r.root] = bed.program().qualifiedName(r.root);
     return out;
 }
 
@@ -148,5 +155,18 @@ main(int argc, char **argv)
                 (unsigned long long)a[0].steady_count,
                 (unsigned long long)a[1].steady_count,
                 (unsigned long long)a[2].steady_count);
+
+    i = 0;
+    for (AppKind app : kAllApps) {
+        const Analysis &an = a[i++];
+        auto name = [&an](vm::MethodId root) {
+            auto it = an.root_names.find(root);
+            return it != an.root_names.end() ? it->second
+                                             : std::to_string(root);
+        };
+        printBootBreakdown(
+            std::string("Boot-path breakdown: ") + appName(app),
+            name, an.boots);
+    }
     return 0;
 }

@@ -15,6 +15,12 @@
  *   4. closure slimming measurement: for each app the handler's
  *      closure is built with and without the capture set, reporting
  *      data bytes before/after.
+ *   5. snapshot coverage: each app runs a short offload drill with
+ *      the snapshot store enabled; the recorded image composition
+ *      (base/delta layers, content hashes) is reported and the
+ *      store's coverage invariant -- every recorded working-set
+ *      entry is either in the restore plan or counted stale -- is
+ *      checked. A violation is an error.
  *
  * Usage: hivelint [--strict] [--quiet] [--json]
  *   --strict  closed-world typing (see VerifyOptions::strict_types);
@@ -42,9 +48,11 @@
 #include "core/closure.h"
 #include "core/server.h"
 #include "harness/testbed.h"
+#include "snapshot/store.h"
 #include "support/strutil.h"
 #include "vm/offload_analysis.h"
 #include "vm/verifier.h"
+#include "workload/clients.h"
 
 using namespace beehive;
 
@@ -253,6 +261,96 @@ measureClosure(Reporter &rep, harness::AppKind kind)
     rep.add(f);
 }
 
+/**
+ * Pass 5: snapshot coverage. Drives a short all-offload drill so
+ * cold boots record their working sets, then checks the store's
+ * coverage invariant and reports each endpoint's image composition.
+ */
+void
+snapshotPass(Reporter &rep, harness::AppKind kind)
+{
+    harness::TestbedOptions options;
+    options.app = kind;
+    options.beehive.snapshot_enabled = true;
+    harness::Testbed bed(options);
+    const char *app = harness::appName(kind);
+    if (!bed.runProfilingPhase() || bed.manager() == nullptr) {
+        Finding f;
+        f.kind = "snapshot";
+        f.program = app;
+        f.klass = "no-profile";
+        f.severity = "warning";
+        f.message = "profiling phase did not select the handler; "
+                    "snapshot pass skipped";
+        rep.add(f);
+        return;
+    }
+
+    sim::SimTime t0 = bed.sim().now();
+    bed.manager()->setOffloadRatio(1.0);
+    workload::Recorder recorder;
+    workload::ClosedLoopClients clients(bed.sim(), bed.sink(),
+                                        recorder);
+    clients.start(2, t0);
+    bed.sim().runUntil(t0 + sim::SimTime::sec(6));
+    clients.stopAll();
+    bed.sim().runUntil(t0 + sim::SimTime::sec(8));
+
+    snapshot::SnapshotStore *snaps = bed.server().snapshots();
+    uint64_t epoch = bed.server().collector().totals().collections;
+    if (snaps == nullptr || snaps->recordedRoots() == 0) {
+        Finding f;
+        f.kind = "snapshot";
+        f.program = app;
+        f.klass = "no-recording";
+        f.severity = "warning";
+        f.message = "drill produced no recorded working set";
+        rep.add(f);
+        return;
+    }
+
+    for (const snapshot::ImageComposition &c :
+         snaps->compositions(epoch)) {
+        std::string qname = bed.program().qualifiedName(c.root);
+        Finding f;
+        f.kind = "snapshot";
+        f.program = app;
+        f.method = qname;
+        f.klass = "image-composition";
+        f.severity = "info";
+        f.message = strprintf(
+            "%s: %zu klass(es) (%zu base), %zu object(s) (%zu "
+            "base), base %llu B [%016llx], delta %llu B [%016llx], "
+            "%llu boot(s) folded, %llu stale",
+            qname.c_str(), c.klasses, c.base_klasses, c.objects,
+            c.base_objects,
+            static_cast<unsigned long long>(c.base_bytes),
+            static_cast<unsigned long long>(c.base_hash),
+            static_cast<unsigned long long>(c.delta_bytes),
+            static_cast<unsigned long long>(c.delta_hash),
+            static_cast<unsigned long long>(c.folded_boots),
+            static_cast<unsigned long long>(c.stale_objects));
+        rep.add(f);
+
+        uint64_t missing = snaps->verifyCoverage(c.root, epoch);
+        if (missing > 0) {
+            Finding v;
+            v.kind = "snapshot";
+            v.program = app;
+            v.method = qname;
+            v.klass = "coverage-violation";
+            v.severity = "error";
+            v.message = strprintf(
+                "%s: restore plan drops %llu recorded working-set "
+                "entr%s (neither planned nor counted stale)",
+                qname.c_str(),
+                static_cast<unsigned long long>(missing),
+                missing == 1 ? "y" : "ies");
+            rep.add(v);
+        }
+    }
+}
+
 int
 runLint(bool strict, bool quiet, bool json)
 {
@@ -321,6 +419,12 @@ runLint(bool strict, bool quiet, bool json)
          {harness::AppKind::Thumbnail, harness::AppKind::Pybbs,
           harness::AppKind::Blog})
         measureClosure(rep, kind);
+
+    // ---- Pass 5: snapshot coverage ------------------------------
+    for (harness::AppKind kind :
+         {harness::AppKind::Thumbnail, harness::AppKind::Pybbs,
+          harness::AppKind::Blog})
+        snapshotPass(rep, kind);
 
     if (!json)
         std::printf("hivelint: %zu error(s), %zu warning(s)\n",

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Boot-path classification of one function acquisition.
+ *
+ * The platform stamps every acquisition with how the instance came
+ * up; per-invocation traces carry the stamp so the Figure 7 /
+ * Table 5 benches can break fault storms down by boot kind.
+ */
+
+#ifndef BEEHIVE_CLOUD_BOOT_H
+#define BEEHIVE_CLOUD_BOOT_H
+
+#include <cstdint>
+
+namespace beehive::cloud {
+
+/** How a function instance was brought up for an invocation. */
+enum class BootKind : uint8_t
+{
+    None = 0, //!< never acquired through the platform
+    Cold,     //!< fresh container/VM launch
+    Warm,     //!< reuse of a cached instance
+    Restore,  //!< fresh launch from a recorded snapshot image
+};
+
+inline const char *
+bootKindName(BootKind kind)
+{
+    switch (kind) {
+      case BootKind::None: return "none";
+      case BootKind::Cold: return "cold";
+      case BootKind::Warm: return "warm";
+      case BootKind::Restore: return "restore";
+    }
+    return "?";
+}
+
+} // namespace beehive::cloud
+
+#endif // BEEHIVE_CLOUD_BOOT_H

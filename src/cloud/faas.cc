@@ -52,16 +52,56 @@ FaasPlatform::findWarm()
 {
     for (auto &inst : instances_) {
         if (!inst->in_use && inst->machine) {
-            // Expired cache entries are treated as destroyed.
+            // Safety net behind the scheduled sweep: expired cache
+            // entries found on scan are treated as destroyed.
             if (sim_.now() - inst->idle_since > profile_.keep_alive) {
-                inst->machine.reset();
-                inst->runtime_state.reset();
+                expire(*inst);
                 continue;
             }
             return inst.get();
         }
     }
     return nullptr;
+}
+
+void
+FaasPlatform::expire(FunctionInstance &inst)
+{
+    endIdleSpan(inst);
+    ++expired_;
+    inst.compacted = false;
+    inst.machine.reset();
+    inst.runtime_state.reset();
+}
+
+void
+FaasPlatform::endIdleSpan(FunctionInstance &inst)
+{
+    // Billing stops at keep-alive even when the expiry is noticed
+    // later by a lazy scan.
+    sim::SimTime end =
+        std::min(sim_.now(), inst.idle_since + profile_.keep_alive);
+    idle_gb_seconds_ += idleGbSeconds(inst, end);
+}
+
+double
+FaasPlatform::idleGbSeconds(const FunctionInstance &inst,
+                            sim::SimTime until) const
+{
+    if (until <= inst.idle_since)
+        return 0.0;
+    double gb = profile_.instance_type.memory_gb;
+    sim::SimTime compact_at =
+        inst.idle_since + profile_.idle_compaction_after;
+    if (profile_.idle_compaction_after.ns() <= 0 ||
+        until <= compact_at) {
+        return (until - inst.idle_since).toSeconds() * gb;
+    }
+    // The compaction timer fires exactly at compact_at while the
+    // instance is still idle, so the split is deterministic.
+    return (compact_at - inst.idle_since).toSeconds() * gb +
+           (until - compact_at).toSeconds() * gb *
+               profile_.compacted_memory_fraction;
 }
 
 FunctionInstance &
@@ -83,17 +123,24 @@ FaasPlatform::acquire(AcquireCallback cb)
     FunctionInstance *warm = findWarm();
     if (warm) {
         ++warm_boots_;
+        endIdleSpan(*warm);
+        bool compacted = warm->compacted;
+        warm->compacted = false;
+        warm->last_boot = BootKind::Warm;
         warm->in_use = true;
         busy_start_[warm] = sim_.now();
-        sim_.after(profile_.warm_boot,
-                   [this, warm, cb = std::move(cb)] {
-                       ++warm->invocations;
-                       cb(*warm);
-                   });
+        sim::SimTime boot = profile_.warm_boot;
+        if (compacted)
+            boot = boot + profile_.decompact_penalty;
+        sim_.after(boot, [this, warm, cb = std::move(cb)] {
+            ++warm->invocations;
+            cb(*warm);
+        });
         return;
     }
     ++cold_boots_;
     FunctionInstance &fresh = launch();
+    fresh.last_boot = BootKind::Cold;
     fresh.in_use = true;
     busy_start_[&fresh] = sim_.now();
     double jitter = rng_.normal(
@@ -108,6 +155,28 @@ FaasPlatform::acquire(AcquireCallback cb)
     });
 }
 
+void
+FaasPlatform::acquireRestore(uint64_t image_bytes, AcquireCallback cb)
+{
+    ++invocations_;
+    ++restore_boots_;
+    FunctionInstance &fresh = launch();
+    fresh.last_boot = BootKind::Restore;
+    fresh.in_use = true;
+    busy_start_[&fresh] = sim_.now();
+    // Deterministic: no jitter draw. The image transfer rides the
+    // zone's bandwidth, so larger working sets pay more.
+    double transfer_sec =
+        static_cast<double>(image_bytes) / net_.bandwidth();
+    sim::SimTime boot =
+        profile_.restore_boot_base +
+        sim::SimTime::nsec(static_cast<int64_t>(transfer_sec * 1e9));
+    sim_.after(boot, [this, &fresh, cb = std::move(cb)] {
+        ++fresh.invocations;
+        cb(fresh);
+    });
+}
+
 FunctionInstance *
 FaasPlatform::tryAcquireWarm()
 {
@@ -116,6 +185,9 @@ FaasPlatform::tryAcquireWarm()
         return nullptr;
     ++invocations_;
     ++warm_boots_;
+    endIdleSpan(*warm);
+    warm->compacted = false;
+    warm->last_boot = BootKind::Warm;
     warm->in_use = true;
     ++warm->invocations;
     busy_start_[warm] = sim_.now();
@@ -147,12 +219,34 @@ FaasPlatform::release(FunctionInstance &inst)
     inst.in_use = false;
     inst.ever_used = true;
     inst.idle_since = sim_.now();
+    ++inst.idle_epoch;
     auto it = busy_start_.find(&inst);
     if (it != busy_start_.end()) {
         double seconds = (sim_.now() - it->second).toSeconds();
         busy_gb_seconds_ +=
             seconds * profile_.instance_type.memory_gb;
         busy_start_.erase(it);
+    }
+    // Schedule the keep-alive sweep: the cache entry stops being a
+    // warm candidate (and stops billing) exactly at keep_alive
+    // rather than whenever the next acquire happens to scan it.
+    // A reacquire bumps idle_epoch, so a stale timer is a no-op.
+    FunctionInstance *p = &inst;
+    uint64_t epoch = inst.idle_epoch;
+    sim_.after(profile_.keep_alive, [this, p, epoch] {
+        if (p->idle_epoch == epoch && !p->in_use && p->machine)
+            expire(*p);
+    });
+    if (profile_.idle_compaction_after.ns() > 0 &&
+        profile_.idle_compaction_after < profile_.keep_alive) {
+        sim_.after(profile_.idle_compaction_after,
+                   [this, p, epoch] {
+                       if (p->idle_epoch == epoch && !p->in_use &&
+                           p->machine && !p->compacted) {
+                           p->compacted = true;
+                           ++compactions_;
+                       }
+                   });
     }
 }
 
@@ -196,7 +290,17 @@ FaasPlatform::accruedCost(sim::SimTime now) const
         gb_seconds += (now - start).toSeconds() *
                       profile_.instance_type.memory_gb;
     }
+    double idle_gb_seconds = idle_gb_seconds_;
+    // Include currently-idle cached instances' open spans.
+    for (const auto &inst : instances_) {
+        if (inst->in_use || !inst->machine || !inst->ever_used)
+            continue;
+        sim::SimTime end =
+            std::min(now, inst->idle_since + profile_.keep_alive);
+        idle_gb_seconds += idleGbSeconds(*inst, end);
+    }
     return gb_seconds * profile_.price_per_gb_second +
+           idle_gb_seconds * profile_.idle_price_per_gb_second +
            static_cast<double>(invocations_) / 1e6 *
                profile_.price_per_minvoke;
 }

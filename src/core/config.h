@@ -130,6 +130,25 @@ struct BeeHiveConfig
      * enabling it safe regardless.
      */
     bool capture_slimming = false;
+
+    /**
+     * Record the realized working set of cold boots (class and
+     * object faults of the shadow phase) into content-addressed
+     * snapshot images, and boot subsequent fresh instances of the
+     * same endpoint through the *restore* path with the recorded
+     * set pre-installed. Off by default so all existing experiment
+     * numbers stay bit-identical; a stale image degrades to the
+     * normal fetch path, never to a wrong answer.
+     */
+    bool snapshot_enabled = false;
+
+    /** Snapshot store size budget; least-recently-used endpoint
+     * images are evicted beyond it. */
+    uint64_t snapshot_image_budget_bytes = 1u << 20;
+
+    /** Cold boots an endpoint must fold into its image before the
+     * restore path is taken. */
+    uint32_t snapshot_min_boots = 1;
 };
 
 } // namespace beehive::core

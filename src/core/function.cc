@@ -24,6 +24,11 @@ class BeeHiveFunction::Invocation
           interp_(*fn.ctx_)
     {
         trace_.shadow = shadow;
+        trace_.boot = fn.instance_.last_boot;
+        trace_.prefetched_klasses = fn.pending_prefetch_.klasses;
+        trace_.prefetched_objects = fn.pending_prefetch_.objects;
+        trace_.stale_prefetches = fn.pending_prefetch_.stale;
+        fn.pending_prefetch_ = {};
     }
 
     ~Invocation()
@@ -61,6 +66,23 @@ class BeeHiveFunction::Invocation
 
 
   private:
+    /**
+     * Run @p record against the snapshot store when this invocation
+     * is part of a recorded cold boot: the store is enabled and the
+     * instance came up through the full cold path (restore boots are
+     * already fault-free for the recorded set; warm ones never
+     * fault on it).
+     */
+    template <typename Fn>
+    void
+    recordFault(Fn record)
+    {
+        if (trace_.boot != cloud::BootKind::Cold)
+            return;
+        if (auto *snaps = fn_.server_.snapshots())
+            record(*snaps);
+    }
+
     /** Fallback round trip between this function and the server. */
     sim::SimTime
     serverRtt(uint64_t req_bytes, uint64_t resp_bytes)
@@ -163,6 +185,9 @@ class BeeHiveFunction::Invocation
         trace_.fallback_time += latency;
         trace_.fetch_time += latency;
         fn_.server_.countFallbackServed();
+        recordFault([&](snapshot::SnapshotStore &snaps) {
+            snaps.recordClassFault(root_, klass);
+        });
         after(latency, [this, klass] {
             fn_.ctx_->loadKlass(klass);
             pump();
@@ -182,6 +207,11 @@ class BeeHiveFunction::Invocation
         trace_.fallback_time += latency;
         trace_.fetch_time += latency;
         fn_.server_.countFallbackServed();
+        recordFault([&](snapshot::SnapshotStore &snaps) {
+            snaps.recordObjectFault(
+                root_, remote_ref,
+                fn_.server_.collector().totals().collections);
+        });
 
         // The fetched object's klass may itself be missing: that is
         // a second (code) fetch.
@@ -195,6 +225,9 @@ class BeeHiveFunction::Invocation
             trace_.fetch_time += extra;
             latency += extra;
             fn_.ctx_->loadKlass(k);
+            recordFault([&](snapshot::SnapshotStore &snaps) {
+                snaps.recordClassFault(root_, k);
+            });
         }
         after(latency, [this] { pump(); });
     }
@@ -447,6 +480,11 @@ class BeeHiveFunction::Invocation
             fn_.warmed_roots_.insert(root_);
             fn_.total_trace_.merge(trace_);
             ++fn_.invocation_count_;
+            // A completed cold boot folds its recorded working set
+            // into the endpoint's snapshot image.
+            recordFault([&](snapshot::SnapshotStore &snaps) {
+                snaps.endRecordedBoot(root_);
+            });
             DoneCb done = std::move(done_);
             RequestTrace trace = trace_;
             // Drop the owning reference last: `this` stays alive

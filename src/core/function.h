@@ -114,6 +114,19 @@ class BeeHiveFunction
     const RequestTrace &totalTrace() const { return total_trace_; }
     uint64_t invocations() const { return invocation_count_; }
 
+    /**
+     * Note a restore-boot prefetch: the working set installed from
+     * the snapshot image before the first invocation dispatches.
+     * Consumed into that invocation's trace.
+     */
+    void notePrefetch(uint64_t klasses, uint64_t objects,
+                      uint64_t stale)
+    {
+        pending_prefetch_.klasses += klasses;
+        pending_prefetch_.objects += objects;
+        pending_prefetch_.stale += stale;
+    }
+
   private:
     class Invocation;
     friend class Invocation;
@@ -135,6 +148,13 @@ class BeeHiveFunction
     RequestTrace total_trace_;
     uint64_t invocation_count_ = 0;
     bool dead_ = false;
+
+    struct PendingPrefetch
+    {
+        uint64_t klasses = 0;
+        uint64_t objects = 0;
+        uint64_t stale = 0;
+    } pending_prefetch_;
 };
 
 } // namespace beehive::core

@@ -211,7 +211,7 @@ OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
         ++stats_.shadows;
     }
 
-    platform_.acquire([this, id](cloud::FunctionInstance &inst) {
+    auto booted = [this, id](cloud::FunctionInstance &inst) {
         auto it = flights_.find(id);
         if (it == flights_.end()) {
             platform_.release(inst);
@@ -219,7 +219,24 @@ OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
         }
         it->second.instance = &inst;
         dispatchOn(inst, id);
-    });
+    };
+
+    // Restore path: a recorded snapshot image of this endpoint lets
+    // the platform boot the instance from the image instead of the
+    // full cold path; the recorded working set rides along, so the
+    // shadow phase runs without its fault storm. A stale image only
+    // shrinks the prefetched set -- dropped entries fault normally.
+    snapshot::SnapshotStore *snaps = server_.snapshots();
+    if (snaps && snaps->hasImage(root)) {
+        flight.plan = snaps->planRestore(
+            root, server_.collector().totals().collections);
+        flight.restore = true;
+        ++stats_.restores;
+        platform_.acquireRestore(flight.plan.image_bytes,
+                                 std::move(booted));
+        return;
+    }
+    platform_.acquire(std::move(booted));
 }
 
 void
@@ -253,6 +270,37 @@ OffloadManager::dispatchOn(cloud::FunctionInstance &inst,
         // Closure computation (~133 ms) overlaps the cold boot that
         // already elapsed during acquire(); only the transfer
         // remains on this path.
+
+        if (flight.restore) {
+            // Pre-install the recorded working set. Its transfer
+            // already happened inside the restore boot (the image
+            // download), so no extra latency is charged here.
+            uint64_t klasses = 0;
+            uint64_t objects = 0;
+            for (vm::KlassId k : flight.plan.klasses) {
+                if (!fn.context().isLoaded(k)) {
+                    fn.context().loadKlass(k);
+                    ++klasses;
+                }
+            }
+            const BeeHiveConfig &cfg = server_.config();
+            for (vm::Ref r : flight.plan.objects) {
+                auto [local, bytes] = fetchObject(
+                    r, server_.context(), fn.context(),
+                    server_.mappingFor(fn.endpointId()),
+                    server_.packageables(),
+                    cfg.packageable_enabled);
+                (void)bytes;
+                vm::KlassId k = fn.heap().header(local).klass;
+                if (!fn.context().isLoaded(k)) {
+                    fn.context().loadKlass(k);
+                    ++klasses;
+                }
+                ++objects;
+            }
+            fn.notePrefetch(klasses, objects,
+                            flight.plan.stale_objects);
+        }
     }
 
     if (!flight.shadow && server_.config().shadow_execution) {

@@ -44,6 +44,7 @@ struct OffloadStats
     uint64_t local = 0;         //!< requests served on the server
     uint64_t offloaded = 0;     //!< real offloaded requests
     uint64_t shadows = 0;       //!< shadow executions launched
+    uint64_t restores = 0;      //!< restore boots taken from images
     uint64_t recoveries = 0;    //!< failure recoveries performed
     uint64_t resumed_from_snapshot = 0;
     /** @name Static offloadability of enabled roots (analysis) */
@@ -152,6 +153,10 @@ class OffloadManager
         DoneCb done;
         cloud::FunctionInstance *instance = nullptr;
         bool shadow = false;
+        /** Instance boots through the restore path; @ref plan is
+         * pre-installed before the first dispatch. */
+        bool restore = false;
+        snapshot::RestorePlan plan;
     };
 
     void offload(vm::MethodId root, std::vector<vm::Value> args,

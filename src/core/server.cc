@@ -267,6 +267,12 @@ BeeHiveServer::BeeHiveServer(sim::Simulation &sim, net::Network &net,
     ctx_->loadAll();
     ctx_->setProfiler(&profiler_);
 
+    if (config_.snapshot_enabled) {
+        snapshots_ = std::make_unique<snapshot::SnapshotStore>(
+            program_, *heap_, config_.snapshot_image_budget_bytes,
+            config_.snapshot_min_boots);
+    }
+
     // Verify-on-load (strict = reject, warn = log). The verifier is
     // the load-time gate: bytecode it flags as Error can corrupt
     // interpreter frames mid-request.

@@ -32,6 +32,7 @@
 #include "net/network.h"
 #include "proxy/connection_proxy.h"
 #include "sim/simulation.h"
+#include "snapshot/store.h"
 #include "vm/context.h"
 #include "vm/interpreter.h"
 #include "vm/profiler.h"
@@ -86,6 +87,9 @@ class BeeHiveServer
     BeeHiveConfig &config() { return config_; }
     gc::SemiSpaceCollector &collector() { return *collector_; }
     const ServerStats &stats() const { return stats_; }
+
+    /** Snapshot store; null unless config.snapshot_enabled. */
+    snapshot::SnapshotStore *snapshots() { return snapshots_.get(); }
     /// @}
 
     /**
@@ -172,6 +176,7 @@ class BeeHiveServer
     SyncManager sync_;
     PackageableRegistry packageables_;
     std::unique_ptr<gc::SemiSpaceCollector> collector_;
+    std::unique_ptr<snapshot::SnapshotStore> snapshots_;
 
     std::map<uint16_t, std::unique_ptr<MappingTable>> mappings_;
     std::map<uint16_t, net::EndpointId> fn_nodes_;

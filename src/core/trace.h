@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "cloud/boot.h"
 #include "sim/sim_time.h"
 
 namespace beehive::core {
@@ -27,6 +28,15 @@ enum class FallbackKind
 struct RequestTrace
 {
     bool shadow = false;
+
+    /** How the instance serving this invocation was booted. */
+    cloud::BootKind boot = cloud::BootKind::None;
+
+    /** Working-set entries pre-installed by a restore boot. */
+    uint64_t prefetched_klasses = 0;
+    uint64_t prefetched_objects = 0;
+    /** Recorded entries the restore plan had to drop as stale. */
+    uint64_t stale_prefetches = 0;
 
     uint64_t fallbacks = 0;
     uint64_t code_fetches = 0;
@@ -86,6 +96,9 @@ struct RequestTrace
         connection_fallbacks += o.connection_fallbacks;
         synchronized_objects += o.synchronized_objects;
         db_ops += o.db_ops;
+        prefetched_klasses += o.prefetched_klasses;
+        prefetched_objects += o.prefetched_objects;
+        stale_prefetches += o.stale_prefetches;
         fallback_time += o.fallback_time;
         fetch_time += o.fetch_time;
         sync_time += o.sync_time;

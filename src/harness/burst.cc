@@ -82,6 +82,13 @@ runBurstExperiment(const BurstOptions &options)
                        : FaasFlavor::OpenWhisk;
     tb_opts.framework = options.framework;
     tb_opts.beehive = options.beehive;
+    if (options.snapshot_faas && isBeeHive(options.solution)) {
+        tb_opts.beehive.snapshot_enabled = true;
+        // Short keep-alive: the drill's instances must actually
+        // leave the cache before the burst, or warm boots would
+        // mask the restore path under study.
+        tb_opts.faas_keep_alive = SimTime::sec(8);
+    }
     Testbed bed(tb_opts);
 
     if (isBeeHive(options.solution)) {
@@ -144,6 +151,19 @@ runBurstExperiment(const BurstOptions &options)
             // (always ending well before the burst).
             SimTime drill_on = options.burst_at - SimTime::sec(24);
             SimTime drill_off = options.burst_at - SimTime::sec(8);
+            bed.sim().at(at(drill_on), [&, mgr] {
+                mgr->setOffloadRatio(options.offload_ratio);
+            });
+            bed.sim().at(at(drill_off),
+                         [mgr] { mgr->setOffloadRatio(0.0); });
+        } else if (options.snapshot_faas) {
+            // Recording drill, earlier than the warm one: the cold
+            // boots it pays populate the snapshot store, and the
+            // short keep-alive expires its instances before the
+            // burst -- so the burst boots fresh instances from the
+            // recorded images.
+            SimTime drill_on = options.burst_at - SimTime::sec(30);
+            SimTime drill_off = options.burst_at - SimTime::sec(20);
             bed.sim().at(at(drill_on), [&, mgr] {
                 mgr->setOffloadRatio(options.offload_ratio);
             });
@@ -224,6 +244,15 @@ runBurstExperiment(const BurstOptions &options)
         result.scaling_cost =
             bed.platform()->accruedCost(bed.sim().now());
         result.offload = bed.manager()->stats();
+        result.cold_boots = bed.platform()->coldBoots();
+        result.warm_boots = bed.platform()->warmBoots();
+        result.restore_boots = bed.platform()->restoreBoots();
+        result.traces = bed.manager()->traces();
+        for (const auto &[root, trace] : result.traces) {
+            if (!result.root_names.count(root))
+                result.root_names[root] =
+                    bed.program().qualifiedName(root);
+        }
         if (scaler) // combo: FaaS + the on-demand instance
             result.scaling_cost +=
                 scaler->accruedCost(bed.sim().now());

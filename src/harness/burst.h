@@ -13,6 +13,8 @@
 #ifndef BEEHIVE_HARNESS_BURST_H
 #define BEEHIVE_HARNESS_BURST_H
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/offload.h"
@@ -58,6 +60,15 @@ struct BurstOptions
      * before the burst (Section 5.2's sub-second result). */
     bool warm_faas = false;
 
+    /**
+     * Snapshot variant: snapshots are enabled and an early drill
+     * records the endpoint's working set; a short FaaS keep-alive
+     * then expires every cached instance well before the burst, so
+     * the burst's fresh instances boot through the *restore* path
+     * (fault-free shadow phase) instead of the full cold path.
+     */
+    bool snapshot_faas = false;
+
     /** Offloading ratio applied at the burst. */
     double offload_ratio = 0.5;
 
@@ -84,6 +95,18 @@ struct BurstResult
 
     uint64_t completed_requests = 0;
     core::OffloadStats offload; //!< zero for baselines
+
+    /** @name Boot-path accounting (BeeHive solutions only) */
+    /// @{
+    uint64_t cold_boots = 0;
+    uint64_t warm_boots = 0;
+    uint64_t restore_boots = 0;
+    /** Completed invocation traces (boot breakdown reporting). */
+    std::vector<std::pair<vm::MethodId, core::RequestTrace>> traces;
+    /** Qualified names of the roots in @ref traces (the program
+     * dies with the testbed; names outlive it). */
+    std::map<vm::MethodId, std::string> root_names;
+    /// @}
 };
 
 /** Run one Figure 7 configuration. */

@@ -68,4 +68,75 @@ printSeries(const std::string &label, const std::vector<double> &xs,
     std::printf("\n");
 }
 
+std::vector<BootBreakdownRow>
+collectBootBreakdown(
+    const std::vector<std::pair<vm::MethodId, core::RequestTrace>>
+        &traces)
+{
+    std::vector<BootBreakdownRow> rows;
+    auto rowFor = [&rows](vm::MethodId root) -> BootBreakdownRow & {
+        for (BootBreakdownRow &r : rows) {
+            if (r.root == root)
+                return r;
+        }
+        rows.emplace_back();
+        rows.back().root = root;
+        return rows.back();
+    };
+    for (const auto &[root, trace] : traces) {
+        BootBreakdownRow &row = rowFor(root);
+        auto kind = static_cast<std::size_t>(trace.boot);
+        if (kind >= 4)
+            continue;
+        ++row.boots[kind];
+        row.fetches[kind] += trace.remoteFetches();
+        row.prefetched_klasses += trace.prefetched_klasses;
+        row.prefetched_objects += trace.prefetched_objects;
+        row.stale_prefetches += trace.stale_prefetches;
+    }
+    return rows;
+}
+
+void
+printBootBreakdown(
+    const std::string &title,
+    const std::function<std::string(vm::MethodId)> &name,
+    const std::vector<BootBreakdownRow> &rows)
+{
+    auto mean = [](uint64_t sum, uint64_t n) {
+        return n ? static_cast<double>(sum) / static_cast<double>(n)
+                 : std::nan("");
+    };
+    std::vector<std::vector<std::string>> cells;
+    for (const BootBreakdownRow &r : rows) {
+        auto cold = static_cast<std::size_t>(cloud::BootKind::Cold);
+        auto warm = static_cast<std::size_t>(cloud::BootKind::Warm);
+        auto restore =
+            static_cast<std::size_t>(cloud::BootKind::Restore);
+        cells.push_back({
+            name(r.root),
+            strprintf("%llu", static_cast<unsigned long long>(
+                                  r.boots[cold])),
+            strprintf("%llu", static_cast<unsigned long long>(
+                                  r.boots[warm])),
+            strprintf("%llu", static_cast<unsigned long long>(
+                                  r.boots[restore])),
+            fmt(mean(r.fetches[cold], r.boots[cold])),
+            fmt(mean(r.fetches[warm], r.boots[warm])),
+            fmt(mean(r.fetches[restore], r.boots[restore])),
+            strprintf("%llu", static_cast<unsigned long long>(
+                                  r.prefetched_klasses)),
+            strprintf("%llu", static_cast<unsigned long long>(
+                                  r.prefetched_objects)),
+            strprintf("%llu", static_cast<unsigned long long>(
+                                  r.stale_prefetches)),
+        });
+    }
+    printTable(title,
+               {"endpoint", "cold", "warm", "restore", "fetch/cold",
+                "fetch/warm", "fetch/restore", "pre-klass", "pre-obj",
+                "stale"},
+               cells);
+}
+
 } // namespace beehive::harness

@@ -7,8 +7,14 @@
 #ifndef BEEHIVE_HARNESS_REPORT_H
 #define BEEHIVE_HARNESS_REPORT_H
 
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "core/trace.h"
+#include "vm/program.h"
 
 namespace beehive::harness {
 
@@ -30,6 +36,41 @@ void printSeries(const std::string &label,
 
 /** Shorthand number formatting. */
 std::string fmt(double v, int decimals = 2);
+
+/**
+ * Per-endpoint boot-path breakdown aggregated from invocation
+ * traces: how many invocations ran on cold-, warm- and
+ * restore-booted instances, how many remote fetches (the fault
+ * storm) each boot kind paid, and what a restore boot pre-installed.
+ */
+struct BootBreakdownRow
+{
+    vm::MethodId root = vm::kNoMethod;
+    /** Invocations indexed by cloud::BootKind. */
+    uint64_t boots[4] = {0, 0, 0, 0};
+    /** Remote fetches (code+data) indexed by cloud::BootKind. */
+    uint64_t fetches[4] = {0, 0, 0, 0};
+    uint64_t prefetched_klasses = 0;
+    uint64_t prefetched_objects = 0;
+    uint64_t stale_prefetches = 0;
+};
+
+/** Aggregate completed traces into per-root boot breakdown rows. */
+std::vector<BootBreakdownRow> collectBootBreakdown(
+    const std::vector<std::pair<vm::MethodId, core::RequestTrace>>
+        &traces);
+
+/**
+ * Print the boot breakdown (mean fetches per boot kind).
+ *
+ * @param name Resolves a root method id to a printable name (pass
+ *        a wrapper over Program::qualifiedName while the program is
+ *        alive, or a lookup over recorded names afterwards).
+ */
+void printBootBreakdown(
+    const std::string &title,
+    const std::function<std::string(vm::MethodId)> &name,
+    const std::vector<BootBreakdownRow> &rows);
 
 } // namespace beehive::harness
 

@@ -87,6 +87,8 @@ Testbed::Testbed(TestbedOptions options) : options_(options)
                 app_->lambdaType().memory_gb);
             profile.instance_type = app_->lambdaType();
         }
+        if (options_.faas_keep_alive.ns() > 0)
+            profile.keep_alive = options_.faas_keep_alive;
         platform_ = std::make_unique<cloud::FaasPlatform>(
             *sim_, *net_, profile);
         manager_ = std::make_unique<core::OffloadManager>(

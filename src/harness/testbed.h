@@ -59,6 +59,11 @@ struct TestbedOptions
     /** Place OpenWhisk workers in another availability zone
      * (Section 5.2's 23.2% overhead experiment). */
     bool cross_az = false;
+
+    /** Override the FaaS profile's keep-alive when non-zero
+     * (snapshot experiments use short windows so instance caches
+     * actually expire within the simulated horizon). */
+    sim::SimTime faas_keep_alive;
 };
 
 /** One assembled environment. */

@@ -60,6 +60,7 @@ class Network
 
     /** Link bandwidth in bytes per second (default 1.25 GB/s). */
     void setBandwidth(double bytes_per_sec);
+    double bandwidth() const { return bytes_per_sec_; }
 
     /** Relative jitter amplitude (0 disables; default 0.05). */
     void setJitter(double fraction);

@@ -1,0 +1,149 @@
+#include "snapshot/image.h"
+
+#include <cstring>
+
+namespace beehive::snapshot {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x42485349; // "BHSI"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void
+put(std::vector<uint8_t> &out, T v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint8_t buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out.insert(out.end(), buf, buf + sizeof(T));
+}
+
+template <typename T>
+bool
+get(const std::vector<uint8_t> &in, std::size_t &pos, T &v)
+{
+    if (pos + sizeof(T) > in.size())
+        return false;
+    std::memcpy(&v, in.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return true;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+SnapshotImage::serialize() const
+{
+    std::vector<uint8_t> out;
+    put(out, kMagic);
+    put(out, kVersion);
+    put(out, static_cast<uint32_t>(klasses.size()));
+    for (vm::KlassId k : klasses)
+        put(out, static_cast<uint32_t>(k));
+    put(out, static_cast<uint32_t>(objects.size()));
+    for (const ImageObject &o : objects) {
+        put(out, static_cast<uint64_t>(o.server_ref));
+        put(out, o.klass);
+        put(out, o.kind);
+        put(out, o.space);
+        put(out, static_cast<uint16_t>(0)); // alignment pad
+        put(out, o.count);
+        put(out, o.size);
+        put(out, o.gc_epoch);
+        put(out, static_cast<uint32_t>(o.payload.size()));
+        out.insert(out.end(), o.payload.begin(), o.payload.end());
+    }
+    return out;
+}
+
+bool
+SnapshotImage::deserialize(const std::vector<uint8_t> &bytes,
+                           SnapshotImage &out)
+{
+    out.klasses.clear();
+    out.objects.clear();
+    std::size_t pos = 0;
+    uint32_t magic = 0, version = 0, n = 0;
+    if (!get(bytes, pos, magic) || magic != kMagic)
+        return false;
+    if (!get(bytes, pos, version) || version != kVersion)
+        return false;
+    if (!get(bytes, pos, n))
+        return false;
+    out.klasses.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t k = 0;
+        if (!get(bytes, pos, k))
+            return false;
+        out.klasses.push_back(static_cast<vm::KlassId>(k));
+    }
+    if (!get(bytes, pos, n))
+        return false;
+    out.objects.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        ImageObject o;
+        uint64_t ref = 0;
+        uint16_t pad = 0;
+        uint32_t payload_len = 0;
+        if (!get(bytes, pos, ref) || !get(bytes, pos, o.klass) ||
+            !get(bytes, pos, o.kind) || !get(bytes, pos, o.space) ||
+            !get(bytes, pos, pad) || !get(bytes, pos, o.count) ||
+            !get(bytes, pos, o.size) ||
+            !get(bytes, pos, o.gc_epoch) ||
+            !get(bytes, pos, payload_len)) {
+            return false;
+        }
+        if (pos + payload_len > bytes.size())
+            return false;
+        o.server_ref = static_cast<vm::Ref>(ref);
+        o.payload.assign(bytes.begin() + pos,
+                         bytes.begin() + pos + payload_len);
+        pos += payload_len;
+        out.objects.push_back(std::move(o));
+    }
+    return pos == bytes.size();
+}
+
+uint64_t
+SnapshotImage::contentHash() const
+{
+    std::vector<uint8_t> bytes = serialize();
+    uint64_t h = 0xcbf29ce484222325ull; // FNV-1a 64 offset basis
+    for (uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+uint64_t
+SnapshotImage::byteSize() const
+{
+    // Fixed prefix + per-klass u32 + per-object fixed part + payload.
+    uint64_t n = 4 + 4 + 4 + 4 * klasses.size() + 4;
+    for (const ImageObject &o : objects)
+        n += 8 + 4 + 1 + 1 + 2 + 4 + 4 + 8 + 4 + o.payload.size();
+    return n;
+}
+
+void
+SnapshotImage::capturePayload(const vm::Heap &heap, vm::Ref ref,
+                              ImageObject &obj)
+{
+    obj.payload.clear();
+    const vm::ObjHeader &hdr = heap.header(ref);
+    if (hdr.kind == vm::ObjKind::Bytes) {
+        std::string_view data = heap.bytes(ref);
+        obj.payload.assign(data.begin(), data.end());
+        return;
+    }
+    obj.payload.reserve(hdr.count * 9);
+    for (uint32_t i = 0; i < hdr.count; ++i) {
+        vm::Value v = heap.field(ref, i);
+        put(obj.payload, static_cast<uint8_t>(v.kind));
+        put(obj.payload, v.bits);
+    }
+}
+
+} // namespace beehive::snapshot

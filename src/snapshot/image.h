@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Content-addressed snapshot images of an endpoint's working set.
+ *
+ * A snapshot image is the serialized form of the realized working
+ * set an offload endpoint touched during its cold boots: the klasses
+ * it class-faulted on and the server objects it object-faulted on,
+ * each object carried with its header metadata, the server GC epoch
+ * it was recorded under, and a byte snapshot of its payload.
+ *
+ * Images are *prefetch manifests*, not authoritative object state:
+ * a restore boot re-materializes the listed objects from the
+ * server's current heap (the same fetch path the missing-data
+ * fallback uses), so a stale image can cost extra fetches but can
+ * never produce a wrong answer. The payload bytes exist so images
+ * are content-addressable (dedup, invalidation) and so the
+ * serialize -> deserialize -> serialize round trip is byte-exact.
+ */
+
+#ifndef BEEHIVE_SNAPSHOT_IMAGE_H
+#define BEEHIVE_SNAPSHOT_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/heap.h"
+#include "vm/program.h"
+#include "vm/value.h"
+
+namespace beehive::snapshot {
+
+/** One recorded object: identity, shape, and payload snapshot. */
+struct ImageObject
+{
+    vm::Ref server_ref = vm::kNullRef; //!< server address at record
+    uint32_t klass = 0;
+    uint8_t kind = 0;   //!< vm::ObjKind at record time
+    uint8_t space = 0;  //!< server space id at record time
+    uint32_t count = 0; //!< field count / length at record time
+    uint32_t size = 0;  //!< object size in bytes (transfer model)
+    /** Server GC collection count when recorded. Alloc-space
+     * addresses are only trustworthy while this epoch is current;
+     * closure-space addresses never move. */
+    uint64_t gc_epoch = 0;
+    /** Payload snapshot: tagged slots (kind byte + 8 value bytes
+     * per slot) for plain/array objects, raw bytes otherwise. */
+    std::vector<uint8_t> payload;
+};
+
+/** A serializable snapshot image (base layer or endpoint delta). */
+struct SnapshotImage
+{
+    /** Code part: klass ids, ascending. */
+    std::vector<vm::KlassId> klasses;
+    /** Data part, in first-fault order. */
+    std::vector<ImageObject> objects;
+
+    /** Serialize to the canonical byte form. */
+    std::vector<uint8_t> serialize() const;
+
+    /**
+     * Parse the canonical byte form.
+     * @retval false on malformed input (@p out unspecified).
+     */
+    static bool deserialize(const std::vector<uint8_t> &bytes,
+                            SnapshotImage &out);
+
+    /** FNV-1a over the serialized form (the content address). */
+    uint64_t contentHash() const;
+
+    /** Size of the serialized form in bytes. */
+    uint64_t byteSize() const;
+
+    /**
+     * Snapshot @p ref's payload from @p heap into @p obj.payload.
+     * The caller guarantees @p ref is valid in @p heap.
+     */
+    static void capturePayload(const vm::Heap &heap, vm::Ref ref,
+                               ImageObject &obj);
+};
+
+} // namespace beehive::snapshot
+
+#endif // BEEHIVE_SNAPSHOT_IMAGE_H

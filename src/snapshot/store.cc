@@ -1,0 +1,310 @@
+#include "snapshot/store.h"
+
+#include <algorithm>
+
+namespace beehive::snapshot {
+
+SnapshotStore::SnapshotStore(const vm::Program &program,
+                             const vm::Heap &server_heap,
+                             uint64_t budget_bytes,
+                             uint32_t min_boots)
+    : program_(program), heap_(server_heap),
+      budget_bytes_(budget_bytes), min_boots_(min_boots)
+{
+}
+
+void
+SnapshotStore::recordClassFault(vm::MethodId root, vm::KlassId klass)
+{
+    WorkingSet &ws = roots_[root];
+    if (!ws.klass_set.insert(klass).second)
+        return;
+    ws.klasses.push_back(klass);
+    uint64_t bytes = program_.klass(klass).code_bytes;
+    ws.bytes += bytes;
+    total_bytes_ += bytes;
+}
+
+void
+SnapshotStore::recordObjectFault(vm::MethodId root,
+                                 vm::Ref server_ref,
+                                 uint64_t gc_epoch)
+{
+    server_ref = vm::stripRemote(server_ref);
+    if (server_ref == vm::kNullRef)
+        return;
+    WorkingSet &ws = roots_[root];
+    if (!ws.object_set.insert(server_ref).second)
+        return;
+    // The fault was just served from this address, so the header is
+    // valid right now; its shape is remembered for revalidation.
+    const vm::ObjHeader &hdr = heap_.header(server_ref);
+    RecordedObject obj;
+    obj.ref = server_ref;
+    obj.klass = hdr.klass;
+    obj.kind = static_cast<uint8_t>(hdr.kind);
+    obj.count = hdr.count;
+    obj.size = hdr.size;
+    obj.gc_epoch = gc_epoch;
+    ws.objects.push_back(obj);
+    ws.bytes += hdr.size;
+    total_bytes_ += hdr.size;
+}
+
+void
+SnapshotStore::endRecordedBoot(vm::MethodId root)
+{
+    WorkingSet &ws = roots_[root];
+    ++ws.folded_boots;
+    ws.lru = ++lru_clock_;
+    evictOverBudget();
+}
+
+bool
+SnapshotStore::hasImage(vm::MethodId root) const
+{
+    auto it = roots_.find(root);
+    return it != roots_.end() &&
+           it->second.folded_boots >= min_boots_ &&
+           (!it->second.klasses.empty() ||
+            !it->second.objects.empty());
+}
+
+bool
+SnapshotStore::isFresh(const RecordedObject &obj,
+                       uint64_t current_gc_epoch) const
+{
+    uint8_t space = vm::refSpace(obj.ref);
+    if (space != vm::Heap::kClosureSpaceId) {
+        // Semispace objects move or die in every collection; the
+        // address is only meaningful under the epoch it was
+        // recorded at.
+        if (obj.gc_epoch != current_gc_epoch)
+            return false;
+        if (space != heap_.allocSpaceId())
+            return false;
+    }
+    if (vm::refOffset(obj.ref) + sizeof(vm::ObjHeader) >
+        heap_.space(space).used()) {
+        return false;
+    }
+    const vm::ObjHeader &hdr = heap_.header(obj.ref);
+    return hdr.klass == obj.klass &&
+           static_cast<uint8_t>(hdr.kind) == obj.kind &&
+           hdr.count == obj.count && hdr.size == obj.size;
+}
+
+void
+SnapshotStore::computeBase(std::set<vm::KlassId> &base_klasses,
+                           std::set<vm::Ref> &base_objects) const
+{
+    std::map<vm::KlassId, int> klass_refs;
+    std::map<vm::Ref, int> object_refs;
+    for (const auto &[root, ws] : roots_) {
+        if (ws.folded_boots == 0)
+            continue;
+        for (vm::KlassId k : ws.klasses)
+            ++klass_refs[k];
+        for (const RecordedObject &o : ws.objects)
+            ++object_refs[o.ref];
+    }
+    for (const auto &[k, n] : klass_refs) {
+        if (n >= 2)
+            base_klasses.insert(k);
+    }
+    for (const auto &[r, n] : object_refs) {
+        if (n >= 2)
+            base_objects.insert(r);
+    }
+}
+
+SnapshotImage
+SnapshotStore::buildBaseImage(uint64_t current_gc_epoch) const
+{
+    std::set<vm::KlassId> base_klasses;
+    std::set<vm::Ref> base_objects;
+    computeBase(base_klasses, base_objects);
+
+    SnapshotImage image;
+    image.klasses.assign(base_klasses.begin(), base_klasses.end());
+    // Canonical object order for the shared layer: by address.
+    for (const auto &[root, ws] : roots_) {
+        for (const RecordedObject &o : ws.objects) {
+            if (!base_objects.count(o.ref))
+                continue;
+            base_objects.erase(o.ref); // each object once
+            if (!isFresh(o, current_gc_epoch))
+                continue;
+            ImageObject img;
+            img.server_ref = o.ref;
+            img.klass = o.klass;
+            img.kind = o.kind;
+            img.space = vm::refSpace(o.ref);
+            img.count = o.count;
+            img.size = o.size;
+            img.gc_epoch = o.gc_epoch;
+            SnapshotImage::capturePayload(heap_, o.ref, img);
+            image.objects.push_back(std::move(img));
+        }
+    }
+    std::sort(image.objects.begin(), image.objects.end(),
+              [](const ImageObject &a, const ImageObject &b) {
+                  return a.server_ref < b.server_ref;
+              });
+    return image;
+}
+
+SnapshotImage
+SnapshotStore::buildDeltaImage(vm::MethodId root,
+                               uint64_t current_gc_epoch) const
+{
+    SnapshotImage image;
+    auto it = roots_.find(root);
+    if (it == roots_.end())
+        return image;
+    std::set<vm::KlassId> base_klasses;
+    std::set<vm::Ref> base_objects;
+    computeBase(base_klasses, base_objects);
+
+    const WorkingSet &ws = it->second;
+    for (vm::KlassId k : ws.klasses) {
+        if (!base_klasses.count(k))
+            image.klasses.push_back(k);
+    }
+    std::sort(image.klasses.begin(), image.klasses.end());
+    for (const RecordedObject &o : ws.objects) {
+        if (base_objects.count(o.ref))
+            continue;
+        if (!isFresh(o, current_gc_epoch))
+            continue;
+        ImageObject img;
+        img.server_ref = o.ref;
+        img.klass = o.klass;
+        img.kind = o.kind;
+        img.space = vm::refSpace(o.ref);
+        img.count = o.count;
+        img.size = o.size;
+        img.gc_epoch = o.gc_epoch;
+        SnapshotImage::capturePayload(heap_, o.ref, img);
+        image.objects.push_back(std::move(img));
+    }
+    return image;
+}
+
+RestorePlan
+SnapshotStore::planRestore(vm::MethodId root,
+                           uint64_t current_gc_epoch)
+{
+    RestorePlan plan;
+    plan.root = root;
+    auto it = roots_.find(root);
+    if (it == roots_.end())
+        return plan;
+    WorkingSet &ws = it->second;
+    ws.lru = ++lru_clock_;
+    ++restores_planned_;
+
+    plan.klasses = ws.klasses; // first-fault order
+    for (const RecordedObject &o : ws.objects) {
+        if (isFresh(o, current_gc_epoch))
+            plan.objects.push_back(o.ref);
+        else
+            ++plan.stale_objects;
+    }
+
+    SnapshotImage base = buildBaseImage(current_gc_epoch);
+    SnapshotImage delta = buildDeltaImage(root, current_gc_epoch);
+    plan.image_bytes = base.byteSize() + delta.byteSize();
+    plan.base_hash = base.contentHash();
+    plan.delta_hash = delta.contentHash();
+    return plan;
+}
+
+std::vector<ImageComposition>
+SnapshotStore::compositions(uint64_t current_gc_epoch) const
+{
+    std::set<vm::KlassId> base_klasses;
+    std::set<vm::Ref> base_objects;
+    computeBase(base_klasses, base_objects);
+    SnapshotImage base = buildBaseImage(current_gc_epoch);
+    uint64_t base_bytes = base.byteSize();
+    uint64_t base_hash = base.contentHash();
+
+    std::vector<ImageComposition> out;
+    for (const auto &[root, ws] : roots_) {
+        ImageComposition c;
+        c.root = root;
+        c.klasses = ws.klasses.size();
+        c.objects = ws.objects.size();
+        for (vm::KlassId k : ws.klasses) {
+            if (base_klasses.count(k))
+                ++c.base_klasses;
+        }
+        for (const RecordedObject &o : ws.objects) {
+            if (base_objects.count(o.ref))
+                ++c.base_objects;
+            if (!isFresh(o, current_gc_epoch))
+                ++c.stale_objects;
+        }
+        SnapshotImage delta =
+            buildDeltaImage(root, current_gc_epoch);
+        c.base_bytes = base_bytes;
+        c.delta_bytes = delta.byteSize();
+        c.base_hash = base_hash;
+        c.delta_hash = delta.contentHash();
+        c.folded_boots = ws.folded_boots;
+        out.push_back(c);
+    }
+    return out;
+}
+
+uint64_t
+SnapshotStore::verifyCoverage(vm::MethodId root,
+                              uint64_t current_gc_epoch)
+{
+    auto it = roots_.find(root);
+    if (it == roots_.end())
+        return 0;
+    RestorePlan plan = planRestore(root, current_gc_epoch);
+    std::set<vm::KlassId> plan_klasses(plan.klasses.begin(),
+                                       plan.klasses.end());
+    std::set<vm::Ref> plan_objects(plan.objects.begin(),
+                                   plan.objects.end());
+    uint64_t missing = 0;
+    const WorkingSet &ws = it->second;
+    for (vm::KlassId k : ws.klasses) {
+        if (!plan_klasses.count(k))
+            ++missing;
+    }
+    uint64_t accounted = plan.objects.size() + plan.stale_objects;
+    if (accounted != ws.objects.size())
+        missing += ws.objects.size() > accounted
+                       ? ws.objects.size() - accounted
+                       : accounted - ws.objects.size();
+    for (const RecordedObject &o : ws.objects) {
+        if (!plan_objects.count(o.ref) &&
+            isFresh(o, current_gc_epoch)) {
+            ++missing;
+        }
+    }
+    return missing;
+}
+
+void
+SnapshotStore::evictOverBudget()
+{
+    while (total_bytes_ > budget_bytes_ && roots_.size() > 1) {
+        auto victim = roots_.end();
+        for (auto it = roots_.begin(); it != roots_.end(); ++it) {
+            if (victim == roots_.end() ||
+                it->second.lru < victim->second.lru) {
+                victim = it;
+            }
+        }
+        total_bytes_ -= victim->second.bytes;
+        roots_.erase(victim);
+        ++evictions_;
+    }
+}
+
+} // namespace beehive::snapshot

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The snapshot store: record-and-prefetch working sets per endpoint.
+ *
+ * On an offload endpoint's first cold boots the BeeHive runtime
+ * records the *realized* working set -- every klass the function
+ * class-faulted on and every server object it object-faulted on --
+ * and folds it into this store. Once enough boots were folded, a
+ * fresh instance for that endpoint takes a *restore boot*: the
+ * platform charges `restore_boot_base + image_bytes / bandwidth`
+ * and the recorded working set is pre-installed on the function VM
+ * before the shadow execution starts, so the Table 5 fault storm
+ * never happens.
+ *
+ * Layering: klasses and objects recorded by two or more endpoints
+ * form the shared *base-runtime image* (the framework plumbing every
+ * handler touches); the remainder is each endpoint's *delta*. Both
+ * layers are content-addressed SnapshotImages.
+ *
+ * Staleness: recorded server addresses in the allocation semispaces
+ * are only valid while the server GC epoch they were recorded under
+ * is still current (the copying collector moves or frees them);
+ * closure-space addresses never move. planRestore() revalidates
+ * every entry against the live heap and silently drops stale ones --
+ * they simply fault at run time through the normal fetch path, so a
+ * stale image degrades to extra fetches, never to a wrong answer.
+ *
+ * Budget: recordings are bounded by a byte budget; when folding a
+ * boot pushes the store over it, least-recently-used endpoints are
+ * evicted (their next cold boot starts recording afresh).
+ */
+
+#ifndef BEEHIVE_SNAPSHOT_STORE_H
+#define BEEHIVE_SNAPSHOT_STORE_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "snapshot/image.h"
+#include "vm/heap.h"
+#include "vm/program.h"
+
+namespace beehive::snapshot {
+
+/** Everything a restore boot pre-installs for one endpoint. */
+struct RestorePlan
+{
+    vm::MethodId root = vm::kNoMethod;
+    /** Klasses to pre-load (base + delta, first-fault order). */
+    std::vector<vm::KlassId> klasses;
+    /** Epoch-fresh server objects to prefetch, first-fault order. */
+    std::vector<vm::Ref> objects;
+    /** Recorded objects dropped by staleness revalidation. */
+    uint64_t stale_objects = 0;
+    /** Modeled transfer size: base image + endpoint delta. */
+    uint64_t image_bytes = 0;
+    uint64_t base_hash = 0;  //!< content address of the base layer
+    uint64_t delta_hash = 0; //!< content address of the delta layer
+};
+
+/** Per-endpoint image composition (hivelint / report). */
+struct ImageComposition
+{
+    vm::MethodId root = vm::kNoMethod;
+    std::size_t klasses = 0;
+    std::size_t objects = 0;
+    std::size_t base_klasses = 0; //!< of which shared with the base
+    std::size_t base_objects = 0;
+    uint64_t base_bytes = 0;
+    uint64_t delta_bytes = 0;
+    uint64_t base_hash = 0;
+    uint64_t delta_hash = 0;
+    uint64_t folded_boots = 0;
+    uint64_t stale_objects = 0; //!< stale right now (vs live heap)
+};
+
+/** Records working sets and plans restore boots. */
+class SnapshotStore
+{
+  public:
+    /**
+     * @param program Klass metadata (code sizes).
+     * @param server_heap The live server heap recordings refer to.
+     * @param budget_bytes Raw recording budget across endpoints.
+     * @param min_boots Cold boots folded before restores are served.
+     */
+    SnapshotStore(const vm::Program &program,
+                  const vm::Heap &server_heap, uint64_t budget_bytes,
+                  uint32_t min_boots);
+
+    /** @name Recording (driven by the cold-boot fault handlers) */
+    /// @{
+    void recordClassFault(vm::MethodId root, vm::KlassId klass);
+    void recordObjectFault(vm::MethodId root, vm::Ref server_ref,
+                           uint64_t gc_epoch);
+    /** Fold one finished cold boot; may trigger LRU eviction. */
+    void endRecordedBoot(vm::MethodId root);
+    /// @}
+
+    /** True when @p root has an image ready for restore boots. */
+    bool hasImage(vm::MethodId root) const;
+
+    /**
+     * Build the restore plan for @p root against the live heap at
+     * @p current_gc_epoch. Stale entries are dropped and counted.
+     * Bumps the endpoint's LRU stamp.
+     */
+    RestorePlan planRestore(vm::MethodId root,
+                            uint64_t current_gc_epoch);
+
+    /** Assemble the serializable image layers for @p root. */
+    SnapshotImage buildBaseImage(uint64_t current_gc_epoch) const;
+    SnapshotImage buildDeltaImage(vm::MethodId root,
+                                  uint64_t current_gc_epoch) const;
+
+    /** Composition summary of every recorded endpoint. */
+    std::vector<ImageComposition>
+    compositions(uint64_t current_gc_epoch) const;
+
+    /**
+     * Coverage invariant: every recorded object is either in the
+     * restore plan or counted stale, and every recorded klass is in
+     * the plan. @return the number of violations (0 = sound).
+     */
+    uint64_t verifyCoverage(vm::MethodId root,
+                            uint64_t current_gc_epoch);
+
+    /** @name Introspection */
+    /// @{
+    uint64_t totalBytes() const { return total_bytes_; }
+    uint64_t budgetBytes() const { return budget_bytes_; }
+    uint64_t evictions() const { return evictions_; }
+    uint64_t recordedRoots() const { return roots_.size(); }
+    uint64_t restoresPlanned() const { return restores_planned_; }
+    /// @}
+
+  private:
+    struct RecordedObject
+    {
+        vm::Ref ref = vm::kNullRef;
+        uint32_t klass = 0;
+        uint8_t kind = 0;
+        uint32_t count = 0;
+        uint32_t size = 0;
+        uint64_t gc_epoch = 0;
+    };
+
+    struct WorkingSet
+    {
+        std::vector<vm::KlassId> klasses; //!< first-fault order
+        std::set<vm::KlassId> klass_set;
+        std::vector<RecordedObject> objects; //!< first-fault order
+        std::set<vm::Ref> object_set;
+        uint64_t folded_boots = 0;
+        uint64_t bytes = 0; //!< raw recording footprint
+        uint64_t lru = 0;
+    };
+
+    /** Is @p obj still the object that was recorded? */
+    bool isFresh(const RecordedObject &obj,
+                 uint64_t current_gc_epoch) const;
+
+    /** Klasses/objects shared by >= 2 recorded endpoints. */
+    void computeBase(std::set<vm::KlassId> &base_klasses,
+                     std::set<vm::Ref> &base_objects) const;
+
+    void evictOverBudget();
+
+    const vm::Program &program_;
+    const vm::Heap &heap_;
+    uint64_t budget_bytes_;
+    uint32_t min_boots_;
+    std::map<vm::MethodId, WorkingSet> roots_;
+    uint64_t total_bytes_ = 0;
+    uint64_t evictions_ = 0;
+    uint64_t restores_planned_ = 0;
+    uint64_t lru_clock_ = 0;
+};
+
+} // namespace beehive::snapshot
+
+#endif // BEEHIVE_SNAPSHOT_STORE_H

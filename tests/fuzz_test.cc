@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fuzz_support.h"
 #include "gc/collector.h"
 #include "support/rng.h"
 #include "vm/analysis.h"
@@ -36,91 +37,7 @@
 namespace beehive::vm {
 namespace {
 
-constexpr int kIntSlots = 4;  //!< locals 0..3 hold ints
-constexpr int kRefSlots = 3;  //!< locals 4..6 hold Node refs
-
-/** Emit a random program; returns its entry method. */
-MethodId
-generateProgram(Program &program, KlassId object_k, KlassId node_k,
-                uint64_t seed)
-{
-    Rng rng(seed);
-    CodeBuilder b(program, object_k,
-                  "fuzz_" + std::to_string(seed), 0);
-    b.locals(kIntSlots + kRefSlots);
-
-    auto int_slot = [&] { return rng.uniformInt(0, kIntSlots - 1); };
-    auto ref_slot = [&] {
-        return kIntSlots + rng.uniformInt(0, kRefSlots - 1);
-    };
-
-    // Initialise: ints to constants, refs to fresh nodes.
-    for (int i = 0; i < kIntSlots; ++i)
-        b.pushI(rng.uniformInt(-50, 50)).store(i);
-    for (int i = 0; i < kRefSlots; ++i) {
-        b.newObj(node_k).store(kIntSlots + i);
-        b.load(kIntSlots + i).pushI(rng.uniformInt(0, 9))
-            .putField(1);
-    }
-
-    const int ops = 120;
-    for (int op = 0; op < ops; ++op) {
-        switch (rng.uniformInt(0, 6)) {
-          case 0: { // int = int (+|-|*) int
-            int dst = int_slot(), a = int_slot(), c = int_slot();
-            b.load(a).load(c);
-            switch (rng.uniformInt(0, 2)) {
-              case 0: b.add(); break;
-              case 1: b.sub(); break;
-              default: b.mul(); break;
-            }
-            // Keep magnitudes bounded so results stay stable.
-            b.pushI(100003).mod().store(dst);
-            break;
-          }
-          case 1: { // fresh node (garbage pressure)
-            int dst = ref_slot();
-            b.newObj(node_k).store(dst);
-            b.load(dst).load(int_slot()).putField(1);
-            break;
-          }
-          case 2: { // link: refA.next = refB (graphs, cycles)
-            b.load(ref_slot()).load(ref_slot()).putField(0);
-            break;
-          }
-          case 3: { // int = ref.payload
-            int dst = int_slot();
-            b.load(ref_slot()).getField(1).store(dst);
-            break;
-          }
-          case 4: { // ref.payload = int
-            b.load(ref_slot()).load(int_slot()).putField(1);
-            break;
-          }
-          case 5: { // follow next if non-nil: ref = ref.next ?: ref
-            int dst = ref_slot(), src = ref_slot();
-            auto keep = b.newLabel();
-            b.load(src).getField(0).logNot().jnz(keep);
-            b.load(src).getField(0).store(dst);
-            b.bind(keep);
-            break;
-          }
-          default: { // pure garbage: array churn
-            b.pushI(rng.uniformInt(1, 24)).newArr(object_k).popv();
-            break;
-          }
-        }
-    }
-
-    // Result: mix of the int slots and reachable payloads.
-    b.pushI(0);
-    for (int i = 0; i < kIntSlots; ++i)
-        b.load(i).add();
-    for (int i = 0; i < kRefSlots; ++i)
-        b.load(kIntSlots + i).getField(1).add();
-    b.ret();
-    return b.build();
-}
+using fuzztest::generateProgram;
 
 /** Run to completion on a heap of the given size; GC on demand. */
 int64_t

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Snapshot subsystem tests.
+ *
+ * Unit level: snapshot images round-trip byte-identically through
+ * serialize/deserialize; the store dedups and strips remote marks;
+ * staleness revalidation drops moved semispace objects but keeps
+ * closure-space ones; LRU eviction respects the byte budget; and
+ * across the fuzz generator's seeds the restore plan covers every
+ * dynamically recorded class fault.
+ *
+ * Integration level (full testbed): with snapshots enabled and a
+ * short keep-alive, expired instances come back via restore boots
+ * whose pre-installed working set removes the shadow-phase fetch
+ * storm; a server GC between recording and restoring makes the
+ * image stale, and the restore falls back through the normal fetch
+ * path with the staleness surfaced in the request trace; with the
+ * knob off, the restore path is never taken.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/offload.h"
+#include "fuzz_support.h"
+#include "gc/collector.h"
+#include "harness/testbed.h"
+#include "snapshot/image.h"
+#include "snapshot/store.h"
+#include "vm/context.h"
+#include "vm/heap.h"
+#include "vm/interpreter.h"
+#include "vm/program.h"
+#include "workload/clients.h"
+
+namespace beehive::snapshot {
+namespace {
+
+using sim::SimTime;
+
+/** Program with the usual Object/Node pair; returns their ids. */
+vm::Program
+makeProgram(vm::KlassId &object_k, vm::KlassId &node_k)
+{
+    vm::Program program;
+    vm::Klass obj;
+    obj.name = "Object";
+    object_k = program.addKlass(obj);
+    vm::Klass node;
+    node.name = "Node";
+    node.fields = {"next", "payload"};
+    node_k = program.addKlass(node);
+    return program;
+}
+
+ImageObject
+captureObject(const vm::Heap &heap, vm::Ref ref, uint64_t epoch)
+{
+    const vm::ObjHeader &hdr = heap.header(ref);
+    ImageObject obj;
+    obj.server_ref = ref;
+    obj.klass = hdr.klass;
+    obj.kind = static_cast<uint8_t>(hdr.kind);
+    obj.space = vm::refSpace(ref);
+    obj.count = hdr.count;
+    obj.size = hdr.size;
+    obj.gc_epoch = epoch;
+    SnapshotImage::capturePayload(heap, ref, obj);
+    return obj;
+}
+
+TEST(SnapshotImageTest, SerializeRoundTripIsByteIdentical)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+
+    vm::Ref a = heap.allocPlain(node_k);
+    vm::Ref b = heap.allocPlain(node_k, /*in_closure=*/true);
+    vm::Ref arr = heap.allocArray(object_k, 4);
+    vm::Ref bytes = heap.allocBytes(object_k, "snapshot-bytes");
+    heap.setField(a, 0, vm::Value::ofRef(b));
+    heap.setField(a, 1, vm::Value::ofInt(42));
+    heap.setElem(arr, 2, vm::Value::ofFloat(2.5));
+
+    SnapshotImage image;
+    image.klasses = {object_k, node_k};
+    for (vm::Ref r : {a, b, arr, bytes})
+        image.objects.push_back(captureObject(heap, r, 3));
+
+    std::vector<uint8_t> wire = image.serialize();
+    EXPECT_EQ(image.byteSize(), wire.size());
+
+    SnapshotImage restored;
+    ASSERT_TRUE(SnapshotImage::deserialize(wire, restored));
+    EXPECT_EQ(restored.klasses, image.klasses);
+    ASSERT_EQ(restored.objects.size(), image.objects.size());
+
+    std::vector<uint8_t> wire2 = restored.serialize();
+    EXPECT_EQ(wire, wire2);
+    EXPECT_EQ(image.contentHash(), restored.contentHash());
+}
+
+TEST(SnapshotImageTest, DeserializeRejectsMalformedInput)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    SnapshotImage image;
+    image.klasses = {node_k};
+    image.objects.push_back(
+        captureObject(heap, heap.allocPlain(node_k), 0));
+    std::vector<uint8_t> wire = image.serialize();
+
+    SnapshotImage out;
+    std::vector<uint8_t> bad = wire;
+    bad[0] ^= 0xFF; // wrong magic
+    EXPECT_FALSE(SnapshotImage::deserialize(bad, out));
+
+    bad = wire;
+    bad.pop_back(); // truncated
+    EXPECT_FALSE(SnapshotImage::deserialize(bad, out));
+
+    bad = wire;
+    bad.push_back(0); // trailing garbage
+    EXPECT_FALSE(SnapshotImage::deserialize(bad, out));
+
+    EXPECT_FALSE(SnapshotImage::deserialize({}, out));
+}
+
+TEST(SnapshotStoreTest, RecordingDedupsAndStripsRemoteMark)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    SnapshotStore store(program, heap, 1 << 20, 1);
+
+    const vm::MethodId root = 1;
+    vm::Ref a = heap.allocPlain(node_k);
+    store.recordObjectFault(root, vm::markRemote(a), 0);
+    store.recordObjectFault(root, a, 0); // same object, local form
+    store.recordObjectFault(root, vm::kNullRef, 0);
+    store.recordClassFault(root, node_k);
+    store.recordClassFault(root, node_k);
+    store.endRecordedBoot(root);
+
+    ASSERT_TRUE(store.hasImage(root));
+    RestorePlan plan = store.planRestore(root, 0);
+    ASSERT_EQ(plan.objects.size(), 1u);
+    EXPECT_EQ(plan.objects[0], a); // remote mark stripped
+    EXPECT_FALSE(vm::isRemote(plan.objects[0]));
+    EXPECT_EQ(plan.klasses.size(), 1u);
+    EXPECT_EQ(plan.stale_objects, 0u);
+    EXPECT_GT(plan.image_bytes, 0u);
+}
+
+TEST(SnapshotStoreTest, StaleEpochDropsSemispaceKeepsClosure)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    SnapshotStore store(program, heap, 1 << 20, 1);
+
+    const vm::MethodId root = 1;
+    vm::Ref moving = heap.allocPlain(node_k); // semispace
+    vm::Ref pinned =
+        heap.allocPlain(node_k, /*in_closure=*/true);
+    store.recordObjectFault(root, moving, 7);
+    store.recordObjectFault(root, pinned, 7);
+    store.endRecordedBoot(root);
+
+    // Same epoch: both are prefetchable.
+    RestorePlan fresh = store.planRestore(root, 7);
+    EXPECT_EQ(fresh.objects.size(), 2u);
+    EXPECT_EQ(fresh.stale_objects, 0u);
+    EXPECT_EQ(store.verifyCoverage(root, 7), 0u);
+
+    // A collection happened: the semispace address is meaningless,
+    // the closure-space one never moves.
+    RestorePlan stale = store.planRestore(root, 8);
+    ASSERT_EQ(stale.objects.size(), 1u);
+    EXPECT_EQ(stale.objects[0], pinned);
+    EXPECT_EQ(stale.stale_objects, 1u);
+    // Every recorded object is still accounted for: planned or
+    // counted stale, never silently lost.
+    EXPECT_EQ(store.verifyCoverage(root, 8), 0u);
+    // The stale layers shrink the modeled transfer too.
+    EXPECT_LT(stale.image_bytes, fresh.image_bytes);
+}
+
+TEST(SnapshotStoreTest, HeaderShapeChangeMakesRecordingStale)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    SnapshotStore store(program, heap, 1 << 20, 1);
+
+    const vm::MethodId root = 1;
+    vm::Ref r = heap.allocPlain(node_k, /*in_closure=*/true);
+    store.recordObjectFault(root, r, 0);
+    store.endRecordedBoot(root);
+    EXPECT_EQ(store.planRestore(root, 0).objects.size(), 1u);
+
+    // The address now holds something else (shape revalidation).
+    heap.header(r).klass = object_k;
+    RestorePlan plan = store.planRestore(root, 0);
+    EXPECT_EQ(plan.objects.size(), 0u);
+    EXPECT_EQ(plan.stale_objects, 1u);
+    EXPECT_EQ(store.verifyCoverage(root, 0), 0u);
+}
+
+TEST(SnapshotStoreTest, LruEvictionKeepsStoreUnderBudget)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    // Budget fits one klass recording (default code_bytes = 1024).
+    SnapshotStore store(program, heap, 1500, 1);
+
+    store.recordClassFault(1, node_k);
+    store.endRecordedBoot(1);
+    ASSERT_TRUE(store.hasImage(1));
+    EXPECT_EQ(store.evictions(), 0u);
+
+    store.recordClassFault(2, object_k);
+    store.endRecordedBoot(2); // 2048 recorded bytes > 1500
+    EXPECT_EQ(store.evictions(), 1u);
+    EXPECT_FALSE(store.hasImage(1)); // root 1 was least recent
+    EXPECT_TRUE(store.hasImage(2));
+    EXPECT_LE(store.totalBytes(), store.budgetBytes());
+    EXPECT_EQ(store.recordedRoots(), 1u);
+}
+
+TEST(SnapshotStoreTest, MinBootsGateHoldsRestoresBack)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    SnapshotStore store(program, heap, 1 << 20, 2);
+
+    store.recordClassFault(1, node_k);
+    store.endRecordedBoot(1);
+    EXPECT_FALSE(store.hasImage(1)); // one boot folded, need two
+    store.endRecordedBoot(1);
+    EXPECT_TRUE(store.hasImage(1));
+}
+
+TEST(SnapshotStoreTest, BaseLayerSharesAcrossEndpoints)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    SnapshotStore store(program, heap, 1 << 20, 1);
+
+    vm::Ref shared = heap.allocPlain(node_k, /*in_closure=*/true);
+    vm::Ref only2 = heap.allocPlain(node_k, /*in_closure=*/true);
+    // Both endpoints fault on node_k and the shared object.
+    store.recordClassFault(1, node_k);
+    store.recordObjectFault(1, shared, 0);
+    store.endRecordedBoot(1);
+    store.recordClassFault(2, node_k);
+    store.recordObjectFault(2, shared, 0);
+    store.recordClassFault(2, object_k);
+    store.recordObjectFault(2, only2, 0);
+    store.endRecordedBoot(2);
+
+    std::vector<ImageComposition> comps = store.compositions(0);
+    ASSERT_EQ(comps.size(), 2u);
+    for (const ImageComposition &c : comps) {
+        // node_k and the shared object are base-layer content.
+        EXPECT_EQ(c.base_klasses, 1u);
+        EXPECT_EQ(c.base_objects, 1u);
+        // Both endpoints see the same base layer address.
+        EXPECT_EQ(c.base_hash, comps[0].base_hash);
+        EXPECT_EQ(c.base_bytes, comps[0].base_bytes);
+    }
+    // Endpoint 2's delta carries its private klass + object.
+    SnapshotImage delta2 = store.buildDeltaImage(2, 0);
+    ASSERT_EQ(delta2.klasses.size(), 1u);
+    EXPECT_EQ(delta2.klasses[0], object_k);
+    ASSERT_EQ(delta2.objects.size(), 1u);
+    EXPECT_EQ(delta2.objects[0].server_ref, only2);
+    // Endpoint 1's delta has no private content at all.
+    SnapshotImage delta1 = store.buildDeltaImage(1, 0);
+    EXPECT_TRUE(delta1.klasses.empty());
+    EXPECT_TRUE(delta1.objects.empty());
+}
+
+TEST(SnapshotFuzzTest, RestorePlanCoversDynamicClassFaults)
+{
+    // Across the same seed range fuzz_test uses: run each generated
+    // program on a VM with NO preloaded klasses, resolving every
+    // class fault by hand while recording it, and require the
+    // restore plan to be a superset of the realized fault set.
+    for (uint64_t seed = 1; seed < 33; ++seed) {
+        vm::KlassId object_k, node_k;
+        vm::Program program = makeProgram(object_k, node_k);
+        vm::MethodId entry = vm::fuzztest::generateProgram(
+            program, object_k, node_k, seed);
+
+        vm::Heap server_heap(program, 1 << 16, 1 << 20);
+        SnapshotStore store(program, server_heap, 1 << 20, 1);
+
+        vm::NativeRegistry natives;
+        vm::Heap heap(program, 1 << 16, 1 << 20);
+        vm::VmConfig cfg;
+        cfg.array_klass = object_k;
+        vm::VmContext ctx(program, natives, heap, cfg);
+        gc::SemiSpaceCollector collector(heap);
+        vm::Interpreter interp(ctx);
+        collector.addValueRoots(
+            [&](const auto &visit) { interp.forEachRoot(visit); });
+
+        std::set<vm::KlassId> faulted;
+        interp.start(entry, {});
+        bool done = false;
+        while (!done) {
+            vm::Suspend s = interp.run();
+            switch (s.kind) {
+              case vm::Suspend::Kind::Done:
+                done = true;
+                break;
+              case vm::Suspend::Kind::Quantum:
+                break;
+              case vm::Suspend::Kind::HeapFull:
+                collector.collect();
+                break;
+              case vm::Suspend::Kind::ClassFault:
+                faulted.insert(s.klass);
+                store.recordClassFault(entry, s.klass);
+                ctx.loadKlass(s.klass);
+                break;
+              default:
+                FAIL() << "unexpected suspension "
+                       << static_cast<int>(s.kind) << ", seed "
+                       << seed;
+            }
+        }
+        store.endRecordedBoot(entry);
+
+        EXPECT_FALSE(faulted.empty()) << "seed " << seed;
+        ASSERT_TRUE(store.hasImage(entry)) << "seed " << seed;
+        RestorePlan plan = store.planRestore(entry, 0);
+        std::set<vm::KlassId> planned(plan.klasses.begin(),
+                                      plan.klasses.end());
+        for (vm::KlassId k : faulted) {
+            EXPECT_TRUE(planned.count(k))
+                << "klass " << k
+                << " faulted but missing from the restore plan, "
+                << "seed " << seed;
+        }
+        EXPECT_EQ(store.verifyCoverage(entry, 0), 0u)
+            << "seed " << seed;
+    }
+}
+
+// -------------------------------------------------------------------
+// Testbed integration: the restore boot path end to end.
+// -------------------------------------------------------------------
+
+struct DrillOutcome
+{
+    bool has_store = false;
+    uint64_t restore_boots = 0;
+    uint64_t cold_boots = 0;
+    uint64_t expired = 0;
+    uint64_t epoch_before_gc = 0;
+    uint64_t epoch_after_gc = 0;
+    uint64_t stale_forecast = 0; //!< store's own stale count pre-burst
+    uint64_t completed_first = 0;
+    uint64_t completed_total = 0;
+    std::vector<std::pair<vm::MethodId, core::RequestTrace>> traces;
+};
+
+/**
+ * Two load windows against one testbed with a 2 s FaaS keep-alive:
+ * the first pays cold boots (and, when snapshots are on, records
+ * them); the idle gap expires every cached instance; the second
+ * boots fresh instances -- via restore when an image exists.
+ */
+DrillOutcome
+runExpiryDrill(bool snapshot_on, bool gc_between)
+{
+    harness::TestbedOptions opts;
+    opts.app = harness::AppKind::Thumbnail;
+    opts.seed = 7;
+    opts.beehive.snapshot_enabled = snapshot_on;
+    opts.faas_keep_alive = SimTime::sec(2);
+    harness::Testbed bed(opts);
+
+    DrillOutcome out;
+    if (!bed.runProfilingPhase()) {
+        ADD_FAILURE() << "profiling phase selected no root";
+        return out;
+    }
+    out.has_store = bed.server().snapshots() != nullptr;
+    SimTime t0 = bed.sim().now();
+    bed.manager()->setOffloadRatio(1.0);
+
+    workload::Recorder recorder;
+    workload::ClosedLoopClients clients(bed.sim(), bed.sink(),
+                                        recorder);
+    clients.startWindow(2, t0, t0 + SimTime::sec(4));
+    // Run past last-release + keep-alive so the expiry sweep fires.
+    bed.sim().runUntil(t0 + SimTime::sec(8));
+    out.completed_first = recorder.completed();
+
+    out.epoch_before_gc =
+        bed.server().collector().totals().collections;
+    if (gc_between)
+        bed.server().runGc();
+    out.epoch_after_gc =
+        bed.server().collector().totals().collections;
+    if (auto *snaps = bed.server().snapshots()) {
+        for (const ImageComposition &c :
+             snaps->compositions(out.epoch_after_gc))
+            out.stale_forecast += c.stale_objects;
+    }
+
+    clients.startWindow(2, t0 + SimTime::sec(10),
+                        t0 + SimTime::sec(14));
+    bed.sim().runUntil(t0 + SimTime::sec(16));
+
+    out.restore_boots = bed.platform()->restoreBoots();
+    out.cold_boots = bed.platform()->coldBoots();
+    out.expired = bed.platform()->expired();
+    out.completed_total = recorder.completed();
+    out.traces = bed.manager()->traces();
+    return out;
+}
+
+double
+meanShadowFetches(const DrillOutcome &out, cloud::BootKind kind,
+                  uint64_t *count = nullptr)
+{
+    uint64_t fetches = 0, n = 0;
+    for (const auto &[root, t] : out.traces) {
+        if (!t.shadow || t.boot != kind)
+            continue;
+        fetches += t.remoteFetches();
+        ++n;
+    }
+    if (count)
+        *count = n;
+    return n ? static_cast<double>(fetches) /
+                   static_cast<double>(n)
+             : 0.0;
+}
+
+TEST(SnapshotIntegrationTest, RestoreBootsPrefetchTheWorkingSet)
+{
+    DrillOutcome out = runExpiryDrill(/*snapshot_on=*/true,
+                                      /*gc_between=*/false);
+    ASSERT_TRUE(out.has_store);
+    EXPECT_GT(out.expired, 0u); // the keep-alive sweep fired
+    EXPECT_GT(out.cold_boots, 0u);
+    ASSERT_GT(out.restore_boots, 0u);
+    EXPECT_GT(out.completed_total, out.completed_first);
+
+    uint64_t cold_shadows = 0, restore_shadows = 0;
+    double cold_fetches = meanShadowFetches(
+        out, cloud::BootKind::Cold, &cold_shadows);
+    double restore_fetches = meanShadowFetches(
+        out, cloud::BootKind::Restore, &restore_shadows);
+    ASSERT_GT(cold_shadows, 0u);
+    ASSERT_GT(restore_shadows, 0u);
+    // The whole point: pre-installed working sets remove the
+    // shadow-phase fault storm.
+    EXPECT_LT(restore_fetches, cold_fetches);
+
+    uint64_t prefetched = 0;
+    for (const auto &[root, t] : out.traces)
+        prefetched += t.prefetched_klasses + t.prefetched_objects;
+    EXPECT_GT(prefetched, 0u);
+}
+
+TEST(SnapshotIntegrationTest, StaleImageFallsBackThroughFetchPath)
+{
+    DrillOutcome out = runExpiryDrill(/*snapshot_on=*/true,
+                                      /*gc_between=*/true);
+    ASSERT_TRUE(out.has_store);
+    // The server collection invalidated semispace recordings...
+    EXPECT_GT(out.epoch_after_gc, out.epoch_before_gc);
+    // ...but restore boots still happen and every request still
+    // completes: a stale image costs fetches, never correctness.
+    ASSERT_GT(out.restore_boots, 0u);
+    EXPECT_GT(out.completed_total, out.completed_first);
+
+    uint64_t stale_traced = 0;
+    for (const auto &[root, t] : out.traces)
+        stale_traced += t.stale_prefetches;
+    if (out.stale_forecast > 0) {
+        // The dropped entries must be surfaced in the traces.
+        EXPECT_GT(stale_traced, 0u);
+    }
+}
+
+TEST(SnapshotIntegrationTest, DisabledKnobNeverTakesRestorePath)
+{
+    DrillOutcome out = runExpiryDrill(/*snapshot_on=*/false,
+                                      /*gc_between=*/false);
+    EXPECT_FALSE(out.has_store);
+    EXPECT_EQ(out.restore_boots, 0u);
+    EXPECT_GT(out.expired, 0u);
+    for (const auto &[root, t] : out.traces) {
+        EXPECT_NE(t.boot, cloud::BootKind::Restore);
+        EXPECT_EQ(t.prefetched_klasses, 0u);
+        EXPECT_EQ(t.prefetched_objects, 0u);
+        EXPECT_EQ(t.stale_prefetches, 0u);
+    }
+}
+
+} // namespace
+} // namespace beehive::snapshot
