@@ -21,20 +21,39 @@
  *      store's coverage invariant -- every recorded working-set
  *      entry is either in the restore plan or counted stale -- is
  *      checked. A violation is an error.
+ *   6. lockset race detection (vm/race_analysis.h): every shared
+ *      klass.field / static / element scope is classified on the
+ *      Eraser guard lattice; unguarded shared writes are findings
+ *      (warnings normally, errors under --strict so CI can gate on
+ *      them without also opting into strict typing).
  *
- * Usage: hivelint [--strict] [--quiet] [--json]
- *   --strict  closed-world typing (see VerifyOptions::strict_types);
- *             the built-in apps intentionally fail this, it exists
- *             for exploring the lattice.
+ * Findings are collected and sorted by (pass, class, method, pc)
+ * before being emitted, so --json output is deterministic and
+ * golden-file friendly.
+ *
+ * Usage: hivelint [--strict] [--quiet] [--json] [--pass <name>]
+ *                 [--seed-race]
+ *   --strict  closed-world typing (see VerifyOptions::strict_types;
+ *             the built-in apps intentionally fail it) and
+ *             error-severity race findings.
  *   --quiet   print only errors and the summary.
  *   --json    one JSON object per finding on stdout (JSONL), no
  *             human-readable chrome.
+ *   --pass <name>  run a single pass in isolation (CI bisection,
+ *             pass-cost benchmarking). Names: verify, offload,
+ *             lock-order, closure, snapshot, race. "offload" covers
+ *             the classification, effect and capture reports.
+ *   --seed-race  inject a deliberately racy synthetic handler into
+ *             the program before analyzing (self-test: the race
+ *             pass must flag it, so `hivelint --seed-race --strict
+ *             --pass race` exiting 0 means the detector is broken).
  *
  * Exit status: 0 when no Error-severity finding exists, 1 when at
  * least one does, 2 on usage errors or an internal failure (an
  * exception escaping the passes).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -51,6 +70,7 @@
 #include "snapshot/store.h"
 #include "support/strutil.h"
 #include "vm/offload_analysis.h"
+#include "vm/race_analysis.h"
 #include "vm/verifier.h"
 #include "workload/clients.h"
 
@@ -62,7 +82,8 @@ namespace {
 struct Finding
 {
     std::string kind;     //!< pass: verify | offload | effect |
-                          //!< capture | lock-order | closure
+                          //!< capture | lock-order | closure |
+                          //!< snapshot | race
     std::string program;  //!< app / scope the finding concerns
     std::string method;   //!< qualified method name ("" when n/a)
     uint32_t pc = 0;
@@ -70,6 +91,20 @@ struct Finding
     std::string severity; //!< error | warning | info
     std::string message;
 };
+
+/** Pipeline position of a pass kind, for deterministic ordering. */
+int
+passRank(const std::string &kind)
+{
+    static const char *order[] = {"verify",     "offload",
+                                  "effect",     "capture",
+                                  "lock-order", "closure",
+                                  "snapshot",   "race"};
+    for (std::size_t i = 0; i < std::size(order); ++i)
+        if (kind == order[i])
+            return static_cast<int>(i);
+    return static_cast<int>(std::size(order));
+}
 
 /** Minimal JSON string escaping (quotes, backslash, control). */
 std::string
@@ -97,36 +132,59 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/**
+ * Collects findings; emit() sorts by (pass, class, method, pc) and
+ * prints them all at once, so output order never depends on pass
+ * scheduling or container iteration details.
+ */
 struct Reporter
 {
     bool json = false;
     bool quiet = false;
     std::size_t errors = 0;
     std::size_t warnings = 0;
+    std::vector<Finding> findings;
 
     void
-    add(const Finding &f)
+    add(Finding f)
     {
         if (f.severity == "error")
             ++errors;
         else if (f.severity == "warning")
             ++warnings;
-        if (quiet && f.severity != "error")
-            return;
-        if (json) {
-            std::printf("{\"kind\":\"%s\",\"program\":\"%s\","
-                        "\"method\":\"%s\",\"pc\":%u,"
-                        "\"class\":\"%s\",\"severity\":\"%s\","
-                        "\"message\":\"%s\"}\n",
-                        jsonEscape(f.kind).c_str(),
-                        jsonEscape(f.program).c_str(),
-                        jsonEscape(f.method).c_str(), f.pc,
-                        jsonEscape(f.klass).c_str(),
-                        jsonEscape(f.severity).c_str(),
-                        jsonEscape(f.message).c_str());
-        } else {
-            std::printf("%s [%s] %s\n", f.kind.c_str(),
-                        f.program.c_str(), f.message.c_str());
+        findings.push_back(std::move(f));
+    }
+
+    void
+    emit()
+    {
+        std::stable_sort(
+            findings.begin(), findings.end(),
+            [](const Finding &a, const Finding &b) {
+                return std::make_tuple(passRank(a.kind), a.klass,
+                                       a.method, a.pc) <
+                       std::make_tuple(passRank(b.kind), b.klass,
+                                       b.method, b.pc);
+            });
+        for (const Finding &f : findings) {
+            if (quiet && f.severity != "error")
+                continue;
+            if (json) {
+                std::printf(
+                    "{\"kind\":\"%s\",\"program\":\"%s\","
+                    "\"method\":\"%s\",\"pc\":%u,"
+                    "\"class\":\"%s\",\"severity\":\"%s\","
+                    "\"message\":\"%s\"}\n",
+                    jsonEscape(f.kind).c_str(),
+                    jsonEscape(f.program).c_str(),
+                    jsonEscape(f.method).c_str(), f.pc,
+                    jsonEscape(f.klass).c_str(),
+                    jsonEscape(f.severity).c_str(),
+                    jsonEscape(f.message).c_str());
+            } else {
+                std::printf("%s [%s] %s\n", f.kind.c_str(),
+                            f.program.c_str(), f.message.c_str());
+            }
         }
     }
 };
@@ -351,9 +409,123 @@ snapshotPass(Reporter &rep, harness::AppKind kind)
     }
 }
 
-int
-runLint(bool strict, bool quiet, bool json)
+/**
+ * Pass 6: lockset race detection. Unguarded shared writes are the
+ * findings (error under --strict); guarded-by-unknown scopes are
+ * surfaced as warnings because the guard claim rests on a lock the
+ * analysis could not identify.
+ */
+void
+racePass(Reporter &rep, const vm::Program &program,
+         const vm::ProgramAnalysis &analysis, bool strict)
 {
+    vm::RaceAnalysis races(program, analysis);
+
+    uint32_t guarded = 0, read_shared = 0, thread_local_scopes = 0;
+    for (const vm::ScopeReport &scope : races.scopes()) {
+        switch (scope.state) {
+          case vm::GuardState::ThreadLocal:
+            ++thread_local_scopes;
+            continue;
+          case vm::GuardState::ReadShared:
+            ++read_shared;
+            continue;
+          case vm::GuardState::ConsistentlyGuarded:
+            ++guarded;
+            continue;
+          case vm::GuardState::GuardedByUnknown: {
+            Finding f;
+            f.kind = "race";
+            f.program = "builtin";
+            f.method = scope.method == vm::kNoMethod
+                           ? ""
+                           : program.qualifiedName(scope.method);
+            f.pc = scope.pc;
+            f.klass = "guarded-by-unknown";
+            f.severity = "warning";
+            f.message = scope.describe(program);
+            rep.add(f);
+            continue;
+          }
+          case vm::GuardState::Unguarded: {
+            Finding f;
+            f.kind = "race";
+            f.program = "builtin";
+            f.method = scope.method == vm::kNoMethod
+                           ? ""
+                           : program.qualifiedName(scope.method);
+            f.pc = scope.pc;
+            f.klass = "unguarded-shared-write";
+            f.severity = strict ? "error" : "warning";
+            f.message = scope.describe(program);
+            rep.add(f);
+            continue;
+          }
+        }
+    }
+
+    Finding s;
+    s.kind = "race";
+    s.program = "builtin";
+    s.klass = "guard-summary";
+    s.severity = "info";
+    s.message = strprintf(
+        "%zu scope(s): %u thread-local, %u read-shared, "
+        "%u consistently-guarded, %zu finding(s); "
+        "%zu vacuous lock(s)%s",
+        races.scopes().size(), thread_local_scopes, read_shared,
+        guarded,
+        races.scopes().size() - thread_local_scopes - read_shared -
+            guarded,
+        races.vacuousLocks().size(),
+        races.incomplete() ? " (analysis incomplete: widened)" : "");
+    rep.add(s);
+}
+
+/**
+ * --seed-race: inject a synthetic handler with a textbook race --
+ * an object published through a static slot whose field is written
+ * without any monitor -- so CI can assert the race pass actually
+ * fires (a detector that never fires also never fails).
+ */
+void
+seedRacyHandler(vm::Program &program)
+{
+    vm::Klass box;
+    box.name = "RacyBox";
+    box.fields = {"value"};
+    vm::KlassId box_id = program.addKlass(box);
+
+    vm::Klass seed;
+    seed.name = "RacySeed";
+    seed.statics = {"box"};
+    vm::KlassId seed_id = program.addKlass(seed);
+    program.hintStatic(seed_id, 0, box_id);
+
+    using vm::Op;
+    vm::Method handler;
+    handler.name = "racyHandler";
+    handler.num_args = 1; // request argument, like real handlers
+    handler.num_locals = 1;
+    handler.annotations.push_back({"RequestMapping"});
+    handler.code = {
+        {Op::GetStatic, seed_id, 0},  // the shared box
+        {Op::PushI, 7, 0},
+        {Op::PutField, 0, 0},         // box.value = 7, no monitor
+        {Op::PushNil, 0, 0},
+        {Op::Ret, 0, 0},
+    };
+    program.addMethod(seed_id, std::move(handler));
+}
+
+int
+runLint(bool strict, bool quiet, bool json,
+        const std::string &only_pass, bool seed_race)
+{
+    auto enabled = [&](const char *name) {
+        return only_pass.empty() || only_pass == name;
+    };
+
     vm::VerifyOptions options;
     options.strict_types = strict;
 
@@ -370,62 +542,91 @@ runLint(bool strict, bool quiet, bool json)
     apps::PybbsApp pybbs(framework);
     apps::BlogApp blog(framework);
     const apps::WebApp *all_apps[] = {&thumbnail, &pybbs, &blog};
+    if (seed_race)
+        seedRacyHandler(program);
 
     if (!json)
-        std::printf("hivelint: %zu klasses, %zu methods%s\n",
+        std::printf("hivelint: %zu klasses, %zu methods%s%s%s\n",
                     program.klassCount(), program.methodCount(),
-                    strict ? " (strict typing)" : "");
+                    strict ? " (strict typing)" : "",
+                    seed_race ? " (racy seed injected)" : "",
+                    only_pass.empty()
+                        ? ""
+                        : strprintf(" (pass %s only)",
+                                    only_pass.c_str())
+                              .c_str());
 
     // ---- Pass 1: bytecode verification --------------------------
-    vm::VerifyResult result =
-        vm::Verifier(program, options).verifyAll();
-    for (const vm::Diagnostic &d : result.diagnostics) {
-        Finding f;
-        f.kind = "verify";
-        f.program = "builtin";
-        f.method = program.qualifiedName(d.method);
-        f.pc = d.pc;
-        f.klass = vm::diagCodeName(d.code);
-        f.severity = severityName(d.severity);
-        f.message = toString(d, program);
-        rep.add(f);
+    if (enabled("verify")) {
+        vm::VerifyResult result =
+            vm::Verifier(program, options).verifyAll();
+        for (const vm::Diagnostic &d : result.diagnostics) {
+            Finding f;
+            f.kind = "verify";
+            f.program = "builtin";
+            f.method = program.qualifiedName(d.method);
+            f.pc = d.pc;
+            f.klass = vm::diagCodeName(d.code);
+            f.severity = severityName(d.severity);
+            f.message = toString(d, program);
+            rep.add(f);
+        }
     }
 
-    // ---- Passes 2+3: offload class, effects, capture ------------
-    vm::OffloadAnalysis analysis(program);
-    for (const apps::WebApp *app : all_apps)
-        for (vm::MethodId root : {app->entry(), app->handler()})
-            reportRoot(rep, program, analysis, app->name(), root);
-    // Annotated handlers the apps did not expose explicitly would be
-    // invisible above; sweep the candidate filter too.
-    for (vm::MethodId root :
-         program.methodsWithAnnotation("RequestMapping"))
-        reportRoot(rep, program, analysis, "annotated", root);
+    // ---- Passes 2+3+6 share the interprocedural framework -------
+    if (enabled("offload") || enabled("lock-order") ||
+        enabled("race")) {
+        vm::OffloadAnalysis analysis(program);
 
-    // ---- Pass 3b: lock-order cycles -----------------------------
-    for (const vm::LockCycle &cycle :
-         analysis.analysis().lockCycles()) {
-        Finding f;
-        f.kind = "lock-order";
-        f.program = "builtin";
-        f.klass = "deadlock-cycle";
-        f.severity = "warning";
-        f.message = cycle.describe(program);
-        rep.add(f);
+        if (enabled("offload")) {
+            for (const apps::WebApp *app : all_apps)
+                for (vm::MethodId root :
+                     {app->entry(), app->handler()})
+                    reportRoot(rep, program, analysis, app->name(),
+                               root);
+            // Annotated handlers the apps did not expose explicitly
+            // would be invisible above; sweep the candidate filter
+            // too.
+            for (vm::MethodId root :
+                 program.methodsWithAnnotation("RequestMapping"))
+                reportRoot(rep, program, analysis, "annotated",
+                           root);
+        }
+
+        // ---- Pass 3b: lock-order cycles -------------------------
+        if (enabled("lock-order")) {
+            for (const vm::LockCycle &cycle :
+                 analysis.analysis().lockCycles()) {
+                Finding f;
+                f.kind = "lock-order";
+                f.program = "builtin";
+                f.klass = "deadlock-cycle";
+                f.severity = "warning";
+                f.message = cycle.describe(program);
+                rep.add(f);
+            }
+        }
+
+        // ---- Pass 6: lockset race detection ---------------------
+        if (enabled("race"))
+            racePass(rep, program, analysis.analysis(), strict);
     }
 
     // ---- Pass 4: closure slimming measurement -------------------
-    for (harness::AppKind kind :
-         {harness::AppKind::Thumbnail, harness::AppKind::Pybbs,
-          harness::AppKind::Blog})
-        measureClosure(rep, kind);
+    if (enabled("closure"))
+        for (harness::AppKind kind :
+             {harness::AppKind::Thumbnail, harness::AppKind::Pybbs,
+              harness::AppKind::Blog})
+            measureClosure(rep, kind);
 
     // ---- Pass 5: snapshot coverage ------------------------------
-    for (harness::AppKind kind :
-         {harness::AppKind::Thumbnail, harness::AppKind::Pybbs,
-          harness::AppKind::Blog})
-        snapshotPass(rep, kind);
+    if (enabled("snapshot"))
+        for (harness::AppKind kind :
+             {harness::AppKind::Thumbnail, harness::AppKind::Pybbs,
+              harness::AppKind::Blog})
+            snapshotPass(rep, kind);
 
+    rep.emit();
     if (!json)
         std::printf("hivelint: %zu error(s), %zu warning(s)\n",
                     rep.errors, rep.warnings);
@@ -440,6 +641,11 @@ main(int argc, char **argv)
     bool strict = false;
     bool quiet = false;
     bool json = false;
+    bool seed_race = false;
+    std::string only_pass;
+    static const char *kPassNames[] = {"verify",  "offload",
+                                       "lock-order", "closure",
+                                       "snapshot", "race"};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--strict") == 0) {
             strict = true;
@@ -447,16 +653,32 @@ main(int argc, char **argv)
             quiet = true;
         } else if (std::strcmp(argv[i], "--json") == 0) {
             json = true;
+        } else if (std::strcmp(argv[i], "--seed-race") == 0) {
+            seed_race = true;
+        } else if (std::strcmp(argv[i], "--pass") == 0 &&
+                   i + 1 < argc) {
+            only_pass = argv[++i];
+            bool known = false;
+            for (const char *name : kPassNames)
+                known = known || only_pass == name;
+            if (!known) {
+                std::fprintf(stderr,
+                             "hivelint: unknown pass '%s' (one of: "
+                             "verify offload lock-order closure "
+                             "snapshot race)\n",
+                             only_pass.c_str());
+                return 2;
+            }
         } else {
-            std::fprintf(
-                stderr,
-                "usage: hivelint [--strict] [--quiet] [--json]\n");
+            std::fprintf(stderr,
+                         "usage: hivelint [--strict] [--quiet] "
+                         "[--json] [--pass <name>] [--seed-race]\n");
             return 2;
         }
     }
 
     try {
-        return runLint(strict, quiet, json);
+        return runLint(strict, quiet, json, only_pass, seed_race);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "hivelint: internal failure: %s\n",
                      e.what());

@@ -149,6 +149,26 @@ struct BeeHiveConfig
     /** Cold boots an endpoint must fold into its image before the
      * restore path is taken. */
     uint32_t snapshot_min_boots = 1;
+
+    /**
+     * Install the FastTrack-style dynamic race oracle
+     * (vm/race_oracle.h) on the server VM: every interpreter then
+     * maintains vector clocks and concrete races are recorded on
+     * the server's oracle. Debug/testing aid; off by default so the
+     * interpreter hot path stays a single null-pointer check and
+     * all experiment output is bit-identical.
+     */
+    bool race_check = false;
+
+    /**
+     * Let the lockset race detector (vm/race_analysis.h) widen
+     * offload admission: monitor sites whose lock provably guards
+     * no shared-written state stop demanding the cross-endpoint
+     * synchronization fallback, upgrading additional roots to
+     * offload-safe. Off by default so classification counts stay
+     * bit-identical unless the deployment opts in.
+     */
+    bool race_admission = false;
 };
 
 } // namespace beehive::core

@@ -66,10 +66,17 @@ OffloadManager::enableRoot(vm::MethodId root,
                            std::vector<Value> sample_args)
 {
     const vm::Program &program = server_.program();
-    vm::OffloadAnalysis analysis(program);
+    vm::OffloadAnalysis analysis(
+        program, server_.config().race_admission);
     vm::RootReport report = analysis.classifyRoot(root);
     inform("offload-analysis: %s",
            toString(report, program).c_str());
+    if (report.vacuous_monitors > 0) {
+        stats_.vacuous_monitors += report.vacuous_monitors;
+        inform("race-admission: %s: %u monitor site(s) vacuous",
+               program.qualifiedName(root).c_str(),
+               report.vacuous_monitors);
+    }
     vm::CaptureSet capture = analysis.captureForRoot(root);
     inform("capture-analysis: %s: %s",
            program.qualifiedName(root).c_str(),

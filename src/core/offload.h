@@ -53,6 +53,9 @@ struct OffloadStats
     uint64_t roots_needs_fallback = 0;
     uint64_t roots_local_only = 0;
     uint64_t roots_refused = 0; //!< local-only roots refused
+    /** Monitor sites the race detector proved vacuous across
+     * enabled roots (race_admission only). */
+    uint64_t vacuous_monitors = 0;
     /// @}
 };
 

@@ -273,6 +273,14 @@ BeeHiveServer::BeeHiveServer(sim::Simulation &sim, net::Network &net,
             config_.snapshot_min_boots);
     }
 
+    if (config_.race_check) {
+        // Dynamic race oracle: every request interpreter on this
+        // VM registers an execution context and reports monitor
+        // and heap-access events (vm/race_oracle.h).
+        race_oracle_ = std::make_unique<vm::RaceOracle>(program_);
+        ctx_->setRaceOracle(race_oracle_.get());
+    }
+
     // Verify-on-load (strict = reject, warn = log). The verifier is
     // the load-time gate: bytecode it flags as Error can corrupt
     // interpreter frames mid-request.

@@ -36,6 +36,7 @@
 #include "vm/context.h"
 #include "vm/interpreter.h"
 #include "vm/profiler.h"
+#include "vm/race_oracle.h"
 
 namespace beehive::core {
 
@@ -90,6 +91,9 @@ class BeeHiveServer
 
     /** Snapshot store; null unless config.snapshot_enabled. */
     snapshot::SnapshotStore *snapshots() { return snapshots_.get(); }
+
+    /** Dynamic race oracle; null unless config.race_check. */
+    vm::RaceOracle *raceOracle() { return race_oracle_.get(); }
     /// @}
 
     /**
@@ -177,6 +181,7 @@ class BeeHiveServer
     PackageableRegistry packageables_;
     std::unique_ptr<gc::SemiSpaceCollector> collector_;
     std::unique_ptr<snapshot::SnapshotStore> snapshots_;
+    std::unique_ptr<vm::RaceOracle> race_oracle_;
 
     std::map<uint16_t, std::unique_ptr<MappingTable>> mappings_;
     std::map<uint16_t, net::EndpointId> fn_nodes_;

@@ -194,6 +194,7 @@ ProgramAnalysis::ProgramAnalysis(const Program &program)
         methods_by_name_[program_.method(id).name].push_back(id);
     intra_.resize(n);
     transitive_.resize(n);
+    accesses_.resize(n);
     locked_calls_.resize(n);
     cg_.callees.resize(n);
     cg_.natives.resize(n);
@@ -216,6 +217,20 @@ ProgramAnalysis::transitiveSummary(MethodId id) const
 {
     bh_assert(id < transitive_.size(), "bad method id %u", id);
     return transitive_[id];
+}
+
+const std::vector<AccessRecord> &
+ProgramAnalysis::accesses(MethodId id) const
+{
+    bh_assert(id < accesses_.size(), "bad method id %u", id);
+    return accesses_[id];
+}
+
+const std::vector<CallSiteLocks> &
+ProgramAnalysis::callSiteLocks(MethodId id) const
+{
+    bh_assert(id < locked_calls_.size(), "bad method id %u", id);
+    return locked_calls_[id];
 }
 
 void
@@ -401,6 +416,31 @@ ProgramAnalysis::analyzeMethod(MethodId id)
                         out.push_back(h.token);
                 return out;
             };
+            auto heldUnknown = [&]() {
+                for (const AbsVal &h : st.held)
+                    if (!elidable(h) &&
+                        h.token.kind == LockToken::Kind::Unknown)
+                        return true;
+                return false;
+            };
+            auto recordAccess = [&](AccessRecord::Scope scope,
+                                    KlassId klass, uint32_t slot,
+                                    bool is_write, bool is_volatile,
+                                    bool receiver_local,
+                                    KlassId stored_klass = kNoKlass) {
+                AccessRecord rec;
+                rec.scope = scope;
+                rec.klass = klass;
+                rec.slot = slot;
+                rec.is_write = is_write;
+                rec.is_volatile = is_volatile;
+                rec.receiver_local = receiver_local;
+                rec.stored_klass = stored_klass;
+                rec.pc = pc;
+                rec.held = heldTokens();
+                rec.held_unknown = heldUnknown();
+                accesses_[id].push_back(std::move(rec));
+            };
             auto recordCall = [&](const std::vector<MethodId> &ts) {
                 std::vector<MethodId> bytecode;
                 for (MethodId t : ts) {
@@ -411,11 +451,10 @@ ProgramAnalysis::analyzeMethod(MethodId id)
                         bytecode.push_back(t);
                     }
                 }
-                std::vector<LockToken> held = heldTokens();
-                if (!held.empty() && !bytecode.empty())
+                if (!bytecode.empty())
                     locked_calls_[id].push_back(
-                        LockedCall{std::move(held),
-                                   std::move(bytecode)});
+                        CallSiteLocks{heldTokens(), heldUnknown(),
+                                      std::move(bytecode)});
             };
 
             switch (in.op) {
@@ -518,6 +557,10 @@ ProgramAnalysis::analyzeMethod(MethodId id)
                         sum.fields_read.insert({recv.klass, index});
                     else
                         sum.fields_read_any_klass.insert(index);
+                    recordAccess(AccessRecord::Scope::Field,
+                                 recv.klass, index, false,
+                                 in.op == Op::GetVolatile,
+                                 elidable(recv));
                     if (in.op == Op::GetVolatile) {
                         if (elidable(recv)) {
                             ++sum.volatiles_elided;
@@ -547,6 +590,12 @@ ProgramAnalysis::analyzeMethod(MethodId id)
                 AbsVal recv = pop();
                 if (mode == kEscape)
                     escape(val);
+                if (mode == kCollect)
+                    recordAccess(AccessRecord::Scope::Field,
+                                 recv.klass,
+                                 static_cast<uint32_t>(in.a), true,
+                                 in.op == Op::PutVolatile,
+                                 elidable(recv), val.klass);
                 if (mode == kCollect &&
                     in.op == Op::PutVolatile) {
                     if (elidable(recv)) {
@@ -565,6 +614,10 @@ ProgramAnalysis::analyzeMethod(MethodId id)
               case Op::ALoad: {
                 pop(); // index
                 AbsVal arr = pop();
+                if (mode == kCollect)
+                    recordAccess(AccessRecord::Scope::Element,
+                                 arr.klass, 0, false, false,
+                                 elidable(arr));
                 AbsVal v;
                 v.klass = arr.elem;
                 if (arr.token.kind ==
@@ -579,9 +632,13 @@ ProgramAnalysis::analyzeMethod(MethodId id)
               case Op::AStore: {
                 AbsVal val = pop();
                 pop(); // index
-                pop(); // array
+                AbsVal arr = pop();
                 if (mode == kEscape)
                     escape(val);
+                if (mode == kCollect)
+                    recordAccess(AccessRecord::Scope::Element,
+                                 arr.klass, 0, true, false,
+                                 elidable(arr), val.klass);
                 break;
               }
               case Op::GetStatic: {
@@ -596,8 +653,11 @@ ProgramAnalysis::analyzeMethod(MethodId id)
                     v.token.kind = LockToken::Kind::StaticSlot;
                     v.token.klass = k;
                     v.token.slot = slot;
-                    if (mode == kCollect)
+                    if (mode == kCollect) {
                         sum.statics_read.insert({k, slot});
+                        recordAccess(AccessRecord::Scope::Static,
+                                     k, slot, false, false, false);
+                    }
                 }
                 push(std::move(v));
                 break;
@@ -613,6 +673,9 @@ ProgramAnalysis::analyzeMethod(MethodId id)
                         slot <
                             program_.klass(k).statics.size()) {
                         sum.statics_written.insert({k, slot});
+                        recordAccess(AccessRecord::Scope::Static,
+                                     k, slot, true, false, false,
+                                     val.klass);
                         sum.sites.push_back(EffectSite{
                             EffectSite::Kind::StaticWrite,
                             EffectDemand::Fallback, id, pc,
@@ -741,7 +804,8 @@ ProgramAnalysis::analyzeMethod(MethodId id)
                             EffectDemand::Fallback, id, pc,
                             "acquires a monitor (needs "
                             "cross-endpoint synchronization "
-                            "fallback)"});
+                            "fallback)",
+                            v.token});
                     }
                 }
                 st.held.push_back(std::move(v));
@@ -909,7 +973,7 @@ ProgramAnalysis::buildLockGraph()
     // Interprocedural edges: a call made while holding H can
     // acquire every lock in the callee subtree's transitive set.
     for (MethodId m = 0; m < locked_calls_.size(); ++m) {
-        for (const LockedCall &lc : locked_calls_[m]) {
+        for (const CallSiteLocks &lc : locked_calls_[m]) {
             for (MethodId c : lc.callees) {
                 for (const LockToken &t :
                      transitive_[c].locks) {

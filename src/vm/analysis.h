@@ -106,6 +106,53 @@ struct EffectSite
     MethodId method = kNoMethod;
     uint32_t pc = 0;
     std::string message;
+    /** SharedMonitor only: identity of the acquired lock. */
+    LockToken token;
+};
+
+/**
+ * One static/field/element access site with the lockset held around
+ * it intra-procedurally. The race detector (vm/race_analysis.h)
+ * combines these with call-site lock contexts to compute the full
+ * interprocedural lockset per access.
+ */
+struct AccessRecord
+{
+    enum class Scope : uint8_t
+    {
+        Field,   //!< instance field: (receiver klass, field index)
+        Static,  //!< static slot: (klass, slot)
+        Element, //!< array element: (array klass, all indices)
+    };
+
+    Scope scope = Scope::Field;
+    /** Receiver/array/static klass; kNoKlass = statically unknown. */
+    KlassId klass = kNoKlass;
+    uint32_t slot = 0;
+    bool is_write = false;
+    bool is_volatile = false;
+    /** Receiver provably fresh and non-escaping (thread-local). */
+    bool receiver_local = false;
+    /** Writes only: klass of the stored value when known. Feeds the
+     * race detector's reachable-from-statics sharing closure. */
+    KlassId stored_klass = kNoKlass;
+    uint32_t pc = 0;
+    /** Known-identity, non-elided locks held at the access. */
+    std::vector<LockToken> held;
+    /** A lock of unknown identity is also held. */
+    bool held_unknown = false;
+};
+
+/**
+ * One bytecode call site with the locks held around it: the edges
+ * the top-down context-lockset propagation walks. Recorded for
+ * every resolved bytecode call, held or not.
+ */
+struct CallSiteLocks
+{
+    std::vector<LockToken> held;
+    bool held_unknown = false;
+    std::vector<MethodId> callees;
 };
 
 /**
@@ -213,6 +260,12 @@ class ProgramAnalysis
     /** Potential deadlock cycles in the program-wide lock graph. */
     const std::vector<LockCycle> &lockCycles() const { return cycles_; }
 
+    /** Every static/field/element access site of @p id's bytecode. */
+    const std::vector<AccessRecord> &accesses(MethodId id) const;
+
+    /** Resolved bytecode call sites of @p id with held locksets. */
+    const std::vector<CallSiteLocks> &callSiteLocks(MethodId id) const;
+
     /** Edges of the lock graph, for diagnostics. */
     const std::map<LockToken, std::set<LockToken>> &lockGraph() const
     {
@@ -231,13 +284,9 @@ class ProgramAnalysis
     std::map<std::string, std::vector<MethodId>> methods_by_name_;
     std::vector<EffectSummary> intra_;
     std::vector<EffectSummary> transitive_;
-    /** Call sites executed under held locks: (held, callees). */
-    struct LockedCall
-    {
-        std::vector<LockToken> held;
-        std::vector<MethodId> callees;
-    };
-    std::vector<std::vector<LockedCall>> locked_calls_;
+    std::vector<std::vector<AccessRecord>> accesses_;
+    /** Call sites with their held locksets (all resolved calls). */
+    std::vector<std::vector<CallSiteLocks>> locked_calls_;
     /** Intra-method lock nesting edges. */
     std::map<LockToken, std::set<LockToken>> lock_edges_;
     std::vector<LockCycle> cycles_;

@@ -25,6 +25,7 @@
 namespace beehive::vm {
 
 class Profiler;
+class RaceOracle;
 
 /** How the interpreter should treat a native call on this endpoint. */
 enum class NativeDisposition
@@ -158,6 +159,9 @@ class VmContext
     void setNativePolicy(NativePolicy p) { native_policy_ = std::move(p); }
     void setProfiler(Profiler *p) { profiler_ = p; }
     Profiler *profiler() { return profiler_; }
+    /** Dynamic race oracle (race_check knob); null = not tracking. */
+    void setRaceOracle(RaceOracle *o) { race_oracle_ = o; }
+    RaceOracle *raceOracle() { return race_oracle_; }
 
     bool needsRemoteAcquire(Ref obj) const
     {
@@ -212,6 +216,7 @@ class VmContext
     MonitorReleaseHook monitor_release_;
     NativePolicy native_policy_;
     Profiler *profiler_ = nullptr;
+    RaceOracle *race_oracle_ = nullptr;
     bool force_local_native_ = false;
     std::array<uint64_t, 4> native_counts_{};
 };

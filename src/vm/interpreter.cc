@@ -5,6 +5,7 @@
 
 #include "support/logging.h"
 #include "vm/profiler.h"
+#include "vm/race_oracle.h"
 
 namespace beehive::vm {
 
@@ -17,6 +18,8 @@ Interpreter::start(MethodId entry, std::vector<Value> args)
 {
     bh_assert(frames_.empty(), "start() while running");
     awaiting_external_ = false;
+    if (ctx_.raceOracle() && race_tid_ < 0)
+        race_tid_ = ctx_.raceOracle()->newThread();
     enterMethod(entry, std::move(args));
 }
 
@@ -463,6 +466,10 @@ Interpreter::step(Suspend &out)
             // Reset the bit in the field itself.
             ctx_.heap().setField(obj, static_cast<uint32_t>(in.a), v);
         }
+        if (RaceOracle *ro = ctx_.raceOracle())
+            ro->fieldAccess(race_tid_, obj,
+                            ctx_.heap().header(obj).klass,
+                            static_cast<uint32_t>(in.a), false);
         pop();
         push(v);
         break;
@@ -474,6 +481,10 @@ Interpreter::step(Suspend &out)
         Value v = pop();
         Ref obj = pop().asRef();
         ctx_.heap().setField(obj, static_cast<uint32_t>(in.a), v);
+        if (RaceOracle *ro = ctx_.raceOracle())
+            ro->fieldAccess(race_tid_, obj,
+                            ctx_.heap().header(obj).klass,
+                            static_cast<uint32_t>(in.a), true);
         break;
       }
 
@@ -491,6 +502,9 @@ Interpreter::step(Suspend &out)
                 return StepResult::Suspended;
             ctx_.heap().setElem(arr, idx, v);
         }
+        if (RaceOracle *ro = ctx_.raceOracle())
+            ro->elementAccess(race_tid_, arr,
+                              ctx_.heap().header(arr).klass, false);
         pop();
         pop();
         push(v);
@@ -505,6 +519,9 @@ Interpreter::step(Suspend &out)
         Ref arr = pop().asRef();
         bh_assert(idx.isInt(), "array index must be int");
         ctx_.heap().setElem(arr, static_cast<uint32_t>(idx.asInt()), v);
+        if (RaceOracle *ro = ctx_.raceOracle())
+            ro->elementAccess(race_tid_, arr,
+                              ctx_.heap().header(arr).klass, true);
         break;
       }
 
@@ -530,6 +547,9 @@ Interpreter::step(Suspend &out)
                 return StepResult::Suspended;
             ctx_.setStatic(k, static_cast<uint32_t>(in.b), v);
         }
+        if (RaceOracle *ro = ctx_.raceOracle())
+            ro->staticAccess(race_tid_, k,
+                             static_cast<uint32_t>(in.b), false);
         push(v);
         break;
       }
@@ -542,6 +562,9 @@ Interpreter::step(Suspend &out)
             recorded_statics_.insert(
                 {k, static_cast<uint32_t>(in.b)});
         ctx_.setStatic(k, static_cast<uint32_t>(in.b), pop());
+        if (RaceOracle *ro = ctx_.raceOracle())
+            ro->staticAccess(race_tid_, k,
+                             static_cast<uint32_t>(in.b), true);
         break;
       }
 
@@ -593,6 +616,8 @@ Interpreter::step(Suspend &out)
         pop();
         ctx_.heap().header(obj).lock_owner =
             static_cast<uint16_t>(ctx_.config().endpoint + 1);
+        if (RaceOracle *ro = ctx_.raceOracle())
+            ro->acquire(race_tid_, obj);
         ++stats_.monitor_enters;
         charge(15.0 * mult);
         break;
@@ -610,6 +635,8 @@ Interpreter::step(Suspend &out)
             return StepResult::Suspended;
         }
         pop();
+        if (RaceOracle *ro = ctx_.raceOracle())
+            ro->release(race_tid_, obj);
         ctx_.monitorReleased(obj);
         charge(10.0 * mult);
         break;
@@ -639,6 +666,11 @@ Interpreter::step(Suspend &out)
             Ref target = pop().asRef();
             ctx_.heap().setField(target,
                                  static_cast<uint32_t>(in.a), v);
+            if (RaceOracle *ro = ctx_.raceOracle())
+                ro->volatileAccess(race_tid_, target,
+                                   ctx_.heap().header(target).klass,
+                                   static_cast<uint32_t>(in.a),
+                                   true);
             ctx_.monitorReleased(target); // release edge
         } else {
             Ref target = pop().asRef();
@@ -646,6 +678,11 @@ Interpreter::step(Suspend &out)
                 recorded_field_reads_.insert(
                     {ctx_.heap().header(target).klass,
                      static_cast<uint32_t>(in.a)});
+            if (RaceOracle *ro = ctx_.raceOracle())
+                ro->volatileAccess(race_tid_, target,
+                                   ctx_.heap().header(target).klass,
+                                   static_cast<uint32_t>(in.a),
+                                   false);
             push(ctx_.heap().field(target,
                                    static_cast<uint32_t>(in.a)));
         }

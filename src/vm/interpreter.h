@@ -182,6 +182,18 @@ class Interpreter
     void clearRecording();
     /// @}
 
+    /** @name Dynamic race oracle (race_check knob) */
+    /// @{
+    /**
+     * Execution-context id in the context's RaceOracle. start()
+     * registers one lazily; drivers that model fork edges (offload
+     * dispatch, test schedulers) can install a pre-forked tid
+     * instead before calling start().
+     */
+    void setRaceTid(int tid) { race_tid_ = tid; }
+    int raceTid() const { return race_tid_; }
+    /// @}
+
     const InterpStats &stats() const { return stats_; }
     std::size_t frameDepth() const { return frames_.size(); }
 
@@ -239,6 +251,7 @@ class Interpreter
     std::size_t candidate_depth_ = 0;
     double candidate_cost_start_ = 0.0;
     uint64_t candidate_syncs_start_ = 0;
+    int race_tid_ = -1;
     bool recording_ = false;
     std::set<KlassId> recorded_klasses_;
     std::set<std::pair<KlassId, uint32_t>> recorded_statics_;

@@ -1,0 +1,433 @@
+#include "vm/race_analysis.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace beehive::vm {
+
+namespace {
+
+std::vector<LockToken>
+sortedUnique(std::vector<LockToken> v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+}
+
+std::vector<LockToken>
+setUnion(const std::vector<LockToken> &a,
+         const std::vector<LockToken> &b)
+{
+    std::vector<LockToken> out;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(out));
+    return out;
+}
+
+std::vector<LockToken>
+setIntersect(const std::vector<LockToken> &a,
+             const std::vector<LockToken> &b)
+{
+    std::vector<LockToken> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+}
+
+} // namespace
+
+const char *
+toString(GuardState s)
+{
+    switch (s) {
+      case GuardState::ThreadLocal: return "thread-local";
+      case GuardState::ReadShared: return "read-shared";
+      case GuardState::ConsistentlyGuarded:
+        return "consistently-guarded";
+      case GuardState::GuardedByUnknown: return "guarded-by-unknown";
+      case GuardState::Unguarded: return "unguarded";
+    }
+    return "?";
+}
+
+bool
+RaceScope::operator<(const RaceScope &o) const
+{
+    return std::tie(kind, klass, slot) <
+           std::tie(o.kind, o.klass, o.slot);
+}
+
+bool
+RaceScope::operator==(const RaceScope &o) const
+{
+    return kind == o.kind && klass == o.klass && slot == o.slot;
+}
+
+std::string
+toString(const RaceScope &scope, const Program &program)
+{
+    const bool known = scope.klass != kNoKlass &&
+                       scope.klass < program.klassCount();
+    std::string owner =
+        known ? program.klass(scope.klass).name : "<any>";
+    switch (scope.kind) {
+      case AccessRecord::Scope::Field:
+        if (known &&
+            scope.slot < program.klass(scope.klass).fields.size())
+            return owner + "." +
+                   program.klass(scope.klass).fields[scope.slot];
+        return strprintf("%s.field[%u]", owner.c_str(), scope.slot);
+      case AccessRecord::Scope::Static:
+        if (known &&
+            scope.slot < program.klass(scope.klass).statics.size())
+            return "static " + owner + "." +
+                   program.klass(scope.klass).statics[scope.slot];
+        return strprintf("static[%u][%u]", scope.klass, scope.slot);
+      case AccessRecord::Scope::Element:
+        return owner + "[*]";
+    }
+    return "?";
+}
+
+std::string
+ScopeReport::describe(const Program &program) const
+{
+    std::string guards;
+    for (const LockToken &t : candidate) {
+        if (!guards.empty())
+            guards += ", ";
+        guards += toString(t, program);
+    }
+    std::string where =
+        method == kNoMethod
+            ? std::string("<nowhere>")
+            : strprintf("%s+%u",
+                        program.qualifiedName(method).c_str(), pc);
+    return strprintf(
+        "%s is %s (%u shared accesses, %u shared writes, "
+        "candidate lockset {%s}) at %s",
+        toString(scope, program).c_str(), toString(state),
+        shared_accesses, shared_writes, guards.c_str(),
+        where.c_str());
+}
+
+// ---- RaceAnalysis ------------------------------------------------
+
+RaceAnalysis::RaceAnalysis(const Program &program,
+                           const ProgramAnalysis &analysis)
+    : program_(program), analysis_(analysis)
+{
+    for (MethodId id = 0; id < program_.methodCount(); ++id)
+        if (!program_.method(id).is_native &&
+            analysis_.methodSummary(id).unresolved_virtual)
+            incomplete_ = true;
+    computeContexts();
+    computeSharedKlasses();
+    classify();
+}
+
+const std::vector<LockToken> &
+RaceAnalysis::contextLockset(MethodId id) const
+{
+    bh_assert(id < context_.size(), "bad method id");
+    return context_[id];
+}
+
+/**
+ * Top-down fixpoint: context(m) = ⋂ over call sites reaching m of
+ * (context(caller) ∪ locks held at the site). Entry methods --
+ * annotated request handlers plus methods nothing calls -- start
+ * from the empty set; everything else starts at ⊤ and only ever
+ * shrinks, so the worklist terminates.
+ */
+void
+RaceAnalysis::computeContexts()
+{
+    const std::size_t n = program_.methodCount();
+    context_.assign(n, {});
+    context_top_.assign(n, true);
+    context_unknown_.assign(n, false);
+
+    std::vector<uint32_t> indegree(n, 0);
+    for (MethodId id = 0; id < n; ++id)
+        for (MethodId callee : analysis_.callGraph().callees[id])
+            ++indegree[callee];
+
+    std::deque<MethodId> work;
+    for (MethodId id = 0; id < n; ++id) {
+        if (program_.method(id).is_native)
+            continue;
+        if (indegree[id] == 0 ||
+            program_.method(id).hasAnnotation("RequestMapping")) {
+            context_top_[id] = false;
+            work.push_back(id);
+        }
+    }
+
+    while (!work.empty()) {
+        MethodId m = work.front();
+        work.pop_front();
+        for (const CallSiteLocks &cs : analysis_.callSiteLocks(m)) {
+            std::vector<LockToken> eff =
+                setUnion(context_[m], sortedUnique(cs.held));
+            bool eff_unknown =
+                context_unknown_[m] || cs.held_unknown;
+            for (MethodId c : cs.callees) {
+                if (context_top_[c]) {
+                    context_top_[c] = false;
+                    context_[c] = eff;
+                    context_unknown_[c] = eff_unknown;
+                    work.push_back(c);
+                    continue;
+                }
+                std::vector<LockToken> next =
+                    setIntersect(context_[c], eff);
+                bool next_unknown =
+                    context_unknown_[c] && eff_unknown;
+                if (next != context_[c] ||
+                    next_unknown != context_unknown_[c]) {
+                    context_[c] = std::move(next);
+                    context_unknown_[c] = next_unknown;
+                    work.push_back(c);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Klasses whose instances can be reached by more than one thread:
+ * the closure, over field type hints, subclassing, and observed
+ * stores, of every klass a static slot can hold. The hints play the
+ * role of field descriptors in a real class file; an object of a
+ * klass outside this set can only be reached through a chain the
+ * program never declares nor was seen building, which the detector
+ * deliberately trusts (documented in DESIGN.md §12).
+ */
+void
+RaceAnalysis::computeSharedKlasses()
+{
+    // Observed heap stores: receiver klass -> stored klasses.
+    // Writes through a statically unknown receiver might target any
+    // shared object, so their stored klasses seed the closure too.
+    std::map<KlassId, std::set<KlassId>> stores;
+    std::deque<KlassId> work;
+    auto push = [&](KlassId k) {
+        if (k == kNoKlass || k >= program_.klassCount())
+            return;
+        if (shared_klasses_.insert(k).second)
+            work.push_back(k);
+    };
+
+    for (MethodId id = 0; id < program_.methodCount(); ++id) {
+        if (program_.method(id).is_native)
+            continue;
+        for (const AccessRecord &rec : analysis_.accesses(id)) {
+            if (!rec.is_write || rec.stored_klass == kNoKlass)
+                continue;
+            if (rec.scope == AccessRecord::Scope::Static ||
+                rec.klass == kNoKlass)
+                push(rec.stored_klass);
+            else if (!rec.receiver_local)
+                stores[rec.klass].insert(rec.stored_klass);
+        }
+    }
+
+    for (KlassId k = 0; k < program_.klassCount(); ++k)
+        for (uint32_t s = 0;
+             s < program_.klass(k).statics.size(); ++s) {
+            TypeHint h = program_.staticHint(k, s);
+            push(h.type);
+            push(h.elem);
+        }
+
+    auto derives = [&](KlassId k, KlassId base) {
+        for (; k != kNoKlass; k = program_.klass(k).super)
+            if (k == base)
+                return true;
+        return false;
+    };
+
+    while (!work.empty()) {
+        KlassId k = work.front();
+        work.pop_front();
+        for (uint32_t i = 0; i < program_.fieldCount(k); ++i) {
+            TypeHint h = program_.fieldHint(k, i);
+            push(h.type);
+            push(h.elem);
+        }
+        auto it = stores.find(k);
+        if (it != stores.end())
+            for (KlassId stored : it->second)
+                push(stored);
+        // A slot declared to hold k may hold any subclass of k.
+        for (KlassId sub = 0; sub < program_.klassCount(); ++sub)
+            if (sub != k && derives(sub, k))
+                push(sub);
+    }
+}
+
+void
+RaceAnalysis::classify()
+{
+    struct Acc
+    {
+        uint32_t shared_accesses = 0;
+        uint32_t shared_writes = 0;
+        bool candidate_init = false;
+        std::vector<LockToken> candidate;
+        /** Some shared access held a lock of unknown identity, so
+         * an empty candidate set may be a modeling artifact. */
+        bool any_unknown = false;
+        bool any_access = false;
+        /** Example sites. */
+        MethodId any_method = kNoMethod;
+        uint32_t any_pc = 0;
+        MethodId bare_method = kNoMethod; //!< lockless shared write
+        uint32_t bare_pc = 0;
+    };
+    std::map<RaceScope, Acc> accs;
+
+    // Lock -> scopes it was ever observed guarding, plus a global
+    // flag when a shared-written scope was accessed under a lock of
+    // unknown identity (that lock may alias anything, so no token
+    // can be proven vacuous).
+    std::map<LockToken, std::set<RaceScope>> guarded_scopes;
+    bool unknown_guard_on_shared_write = false;
+
+    for (MethodId id = 0; id < program_.methodCount(); ++id) {
+        if (program_.method(id).is_native || context_top_[id])
+            continue; // native or unreachable (dead) code
+        for (const AccessRecord &rec : analysis_.accesses(id)) {
+            RaceScope scope{rec.scope, rec.klass, rec.slot};
+            Acc &acc = accs[scope];
+            acc.any_access = true;
+
+            const bool shared =
+                !rec.receiver_local &&
+                (rec.scope == AccessRecord::Scope::Static ||
+                 rec.klass == kNoKlass ||
+                 shared_klasses_.count(rec.klass) != 0);
+            if (!shared)
+                continue;
+
+            std::vector<LockToken> eff =
+                setUnion(sortedUnique(rec.held), context_[id]);
+            const bool eff_unknown =
+                rec.held_unknown || context_unknown_[id];
+
+            ++acc.shared_accesses;
+            if (rec.is_write)
+                ++acc.shared_writes;
+            if (acc.any_method == kNoMethod) {
+                acc.any_method = id;
+                acc.any_pc = rec.pc;
+            }
+            for (const LockToken &t : eff)
+                guarded_scopes[t].insert(scope);
+            if (rec.is_write && eff_unknown)
+                unknown_guard_on_shared_write = true;
+
+            // Volatile accesses are their own synchronization
+            // (acquire/release pairs); they neither refine nor
+            // empty the candidate lockset.
+            if (rec.is_volatile)
+                continue;
+            if (!acc.candidate_init) {
+                acc.candidate_init = true;
+                acc.candidate = eff;
+            } else {
+                acc.candidate = setIntersect(acc.candidate, eff);
+            }
+            if (eff_unknown)
+                acc.any_unknown = true;
+            if (eff.empty() && !eff_unknown && rec.is_write &&
+                acc.bare_method == kNoMethod) {
+                acc.bare_method = id;
+                acc.bare_pc = rec.pc;
+            }
+        }
+    }
+
+    for (const auto &[scope, acc] : accs) {
+        ScopeReport rep;
+        rep.scope = scope;
+        rep.shared_accesses = acc.shared_accesses;
+        rep.shared_writes = acc.shared_writes;
+        rep.candidate = acc.candidate;
+        rep.method = acc.any_method;
+        rep.pc = acc.any_pc;
+        if (acc.shared_accesses == 0) {
+            rep.state = GuardState::ThreadLocal;
+        } else if (acc.shared_writes == 0) {
+            rep.state = GuardState::ReadShared;
+        } else if (acc.candidate_init && !acc.candidate.empty()) {
+            rep.state = GuardState::ConsistentlyGuarded;
+        } else if (acc.any_unknown) {
+            // The empty intersection may be an aliasing artifact:
+            // an unknown lock could denote the same monitor.
+            rep.state = GuardState::GuardedByUnknown;
+        } else {
+            rep.state = GuardState::Unguarded;
+            if (acc.bare_method != kNoMethod) {
+                rep.method = acc.bare_method;
+                rep.pc = acc.bare_pc;
+            }
+        }
+        state_of_[scope] = rep.state;
+        scopes_.push_back(rep);
+        if (rep.state == GuardState::Unguarded)
+            findings_.push_back(rep);
+    }
+
+    // A lock is vacuous when nothing it guards is ever written
+    // while shared: eliding its cross-endpoint fallback cannot
+    // change observable behavior. Widened results forfeit the
+    // optimization wholesale -- admission must stay sound.
+    if (incomplete_ || unknown_guard_on_shared_write)
+        return;
+    for (const auto &[token, scopes] : guarded_scopes) {
+        bool vacuous = true;
+        for (const RaceScope &scope : scopes) {
+            GuardState s = state_of_[scope];
+            if (s != GuardState::ThreadLocal &&
+                s != GuardState::ReadShared)
+                vacuous = false;
+        }
+        if (vacuous)
+            vacuous_.insert(token);
+    }
+}
+
+bool
+RaceAnalysis::reportedAt(const RaceScope &scope) const
+{
+    auto reported = [&](const RaceScope &s) {
+        auto it = state_of_.find(s);
+        return it != state_of_.end() &&
+               (it->second == GuardState::GuardedByUnknown ||
+                it->second == GuardState::Unguarded);
+    };
+    if (reported(scope))
+        return true;
+    if (scope.kind == AccessRecord::Scope::Static)
+        return false;
+    // The static side may have seen the access through a declared
+    // supertype of the runtime klass, or lost the klass entirely.
+    for (KlassId k = scope.klass;
+         k != kNoKlass && k < program_.klassCount();
+         k = program_.klass(k).super)
+        if (reported(RaceScope{scope.kind, k, scope.slot}))
+            return true;
+    return reported(RaceScope{scope.kind, kNoKlass,
+                              scope.kind ==
+                                      AccessRecord::Scope::Element
+                                  ? 0
+                                  : scope.slot});
+}
+
+} // namespace beehive::vm

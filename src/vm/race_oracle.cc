@@ -1,0 +1,150 @@
+#include "vm/race_oracle.h"
+
+#include <tuple>
+
+#include "support/logging.h"
+#include "support/strutil.h"
+
+namespace beehive::vm {
+
+bool
+RaceOracle::Loc::operator<(const Loc &o) const
+{
+    return std::tie(kind, obj, klass, slot) <
+           std::tie(o.kind, o.obj, o.klass, o.slot);
+}
+
+int
+RaceOracle::newThread(int parent)
+{
+    const int tid = static_cast<int>(threads_.size());
+    Clock c(tid + 1, 0);
+    if (parent >= 0) {
+        bh_assert(static_cast<std::size_t>(parent) < threads_.size(),
+                  "bad parent tid");
+        // Fork edge: everything the parent did so far happens
+        // before everything the child will do.
+        joinInto(c, threads_[parent]);
+        threads_[parent][parent]++;
+    }
+    c[tid] = 1;
+    threads_.push_back(std::move(c));
+    return tid;
+}
+
+uint64_t
+RaceOracle::clockOf(int tid, int observer_tid) const
+{
+    const Clock &c = threads_[observer_tid];
+    return static_cast<std::size_t>(tid) < c.size() ? c[tid] : 0;
+}
+
+void
+RaceOracle::joinInto(Clock &dst, const Clock &src)
+{
+    if (dst.size() < src.size())
+        dst.resize(src.size(), 0);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = std::max(dst[i], src[i]);
+}
+
+void
+RaceOracle::acquire(int tid, Ref monitor)
+{
+    auto it = monitors_.find(monitor);
+    if (it != monitors_.end())
+        joinInto(threads_[tid], it->second);
+}
+
+void
+RaceOracle::release(int tid, Ref monitor)
+{
+    monitors_[monitor] = threads_[tid];
+    threads_[tid][tid]++;
+}
+
+void
+RaceOracle::ordered(int before_tid, int after_tid)
+{
+    joinInto(threads_[after_tid], threads_[before_tid]);
+    threads_[before_tid][before_tid]++;
+}
+
+void
+RaceOracle::raceAt(const Loc &loc, int tid, int other)
+{
+    RaceScope scope{loc.kind, loc.klass, loc.slot};
+    if (races_.insert(scope).second)
+        reports_.push_back(strprintf(
+            "race on %s: contexts %d and %d unordered",
+            toString(scope, program_).c_str(), other, tid));
+}
+
+void
+RaceOracle::access(const Loc &loc, int tid, bool is_write)
+{
+    ++checks_;
+    Shadow &sh = shadow_[loc];
+    const Clock &now = threads_[tid];
+
+    // The previous write must happen before this access.
+    if (sh.write_tid >= 0 && sh.write_tid != tid &&
+        sh.write_clock > clockOf(sh.write_tid, tid))
+        raceAt(loc, tid, sh.write_tid);
+
+    if (is_write) {
+        // ... and so must every read since that write.
+        for (const auto &[rtid, rclock] : sh.reads)
+            if (rtid != tid && rclock > clockOf(rtid, tid))
+                raceAt(loc, tid, rtid);
+        sh.write_tid = tid;
+        sh.write_clock = now[tid];
+        sh.reads.clear();
+    } else {
+        sh.reads[tid] = now[tid];
+    }
+}
+
+void
+RaceOracle::fieldAccess(int tid, Ref obj, KlassId klass,
+                        uint32_t slot, bool is_write)
+{
+    access(Loc{AccessRecord::Scope::Field, obj, klass, slot}, tid,
+           is_write);
+}
+
+void
+RaceOracle::staticAccess(int tid, KlassId klass, uint32_t slot,
+                         bool is_write)
+{
+    access(Loc{AccessRecord::Scope::Static, kNullRef, klass, slot},
+           tid, is_write);
+}
+
+void
+RaceOracle::elementAccess(int tid, Ref arr, KlassId klass,
+                          bool is_write)
+{
+    access(Loc{AccessRecord::Scope::Element, arr, klass, 0}, tid,
+           is_write);
+}
+
+void
+RaceOracle::volatileAccess(int tid, Ref obj, KlassId klass,
+                           uint32_t slot, bool is_write)
+{
+    // Volatiles synchronize instead of racing: a write releases the
+    // writer's clock into the location, a read acquires it.
+    Loc loc{AccessRecord::Scope::Field, obj, klass, slot};
+    if (is_write) {
+        Clock &vc = volatile_clocks_[loc];
+        joinInto(vc, threads_[tid]);
+        threads_[tid][tid]++;
+    } else {
+        auto it = volatile_clocks_.find(loc);
+        if (it != volatile_clocks_.end())
+            joinInto(threads_[tid], it->second);
+    }
+}
+
+} // namespace beehive::vm

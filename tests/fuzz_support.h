@@ -107,6 +107,170 @@ generateProgram(Program &program, KlassId object_k, KlassId node_k,
     return b.build();
 }
 
+// ---------------------------------------------------------------------
+// Lock-discipline programs (race-detector cross-check)
+// ---------------------------------------------------------------------
+
+constexpr int kRaceBoxes = 2;   //!< shared boxes (static slots 0..1)
+constexpr int kRaceFields = 3;  //!< fields a/b/c per box
+constexpr int kRaceArrLen = 8;  //!< shared array length
+/** Guarded scopes: every (box, field) pair plus the array elements. */
+constexpr int kRaceScopes = kRaceBoxes * kRaceFields + 1;
+
+/** Static slot layout on the generated RaceShared klass. */
+enum : uint32_t
+{
+    kSlotBox0 = 0,
+    kSlotBox1 = 1,
+    kSlotLock0 = 2,
+    kSlotLock1 = 3,
+    kSlotArr = 4,
+};
+
+/** One generated lock-discipline program plus its ground truth. */
+struct RaceProgram
+{
+    KlassId shared_k = kNoKlass; //!< "RaceShared": boxes and locks
+    KlassId arr_k = kNoKlass;    //!< "RaceArr": the published array
+    MethodId setup = kNoMethod;  //!< initializes + publishes (parent)
+    MethodId worker[2] = {kNoMethod, kNoMethod};
+    int lock_of[kRaceScopes] = {};   //!< designated lock (0 or 1)
+    bool buggy[kRaceScopes] = {};    //!< discipline seeded broken
+};
+
+/**
+ * Emit a two-worker lock-discipline program. The setup method
+ * allocates two boxes, two lock objects, and an int array, fully
+ * initializes them through local receivers, and only then publishes
+ * them to static slots (so a driver that runs setup before forking
+ * the workers gets fork-ordered initialization). Each worker mixes
+ * shared accesses -- normally under the scope's designated lock, but
+ * on @ref RaceProgram::buggy scopes sometimes under the wrong lock
+ * or none at all -- with thread-local field traffic and pure
+ * compute. Workers never publish objects they allocate and only
+ * store ints into shared state, so the classic Eraser
+ * initialization-escape false negative cannot occur: every
+ * dynamically possible race is on a scope whose broken discipline is
+ * visible statically.
+ */
+inline RaceProgram
+generateRaceProgram(Program &program, uint64_t seed)
+{
+    RaceProgram out;
+    Klass shared;
+    shared.name = "RaceShared";
+    shared.fields = {"a", "b", "c"};
+    shared.statics = {"box0", "box1", "lock0", "lock1", "arr"};
+    out.shared_k = program.addKlass(shared);
+    Klass arr;
+    arr.name = "RaceArr";
+    out.arr_k = program.addKlass(arr);
+    for (uint32_t slot = kSlotBox0; slot <= kSlotLock1; ++slot)
+        program.hintStatic(out.shared_k, slot, out.shared_k);
+    program.hintStatic(out.shared_k, kSlotArr, out.arr_k);
+
+    Rng base(seed);
+    for (int s = 0; s < kRaceScopes; ++s) {
+        out.lock_of[s] = static_cast<int>(base.uniformInt(0, 1));
+        out.buggy[s] = base.chance(0.3);
+    }
+
+    {
+        CodeBuilder b(program, out.shared_k,
+                      "race_setup_" + std::to_string(seed), 0);
+        b.locals(1);
+        for (uint32_t slot = kSlotBox0; slot <= kSlotLock1; ++slot) {
+            b.newObj(out.shared_k).store(0);
+            for (int f = 0; f < kRaceFields; ++f)
+                b.load(0).pushI(f).putField(f);
+            b.load(0).putStatic(out.shared_k, slot);
+        }
+        b.pushI(kRaceArrLen).newArr(out.arr_k).store(0);
+        for (int i = 0; i < kRaceArrLen; ++i)
+            b.load(0).pushI(i).pushI(0).astore();
+        b.load(0).putStatic(out.shared_k, kSlotArr);
+        b.pushNil().ret();
+        out.setup = b.build();
+    }
+
+    for (int w = 0; w < 2; ++w) {
+        Rng rng(seed * 1000003 + static_cast<uint64_t>(w) + 1);
+        CodeBuilder b(program, out.shared_k,
+                      "race_worker_" + std::to_string(seed) + "_" +
+                          std::to_string(w),
+                      0);
+        b.locals(2); // 0: int accumulator, 1: scratch ref
+        b.pushI(0).store(0);
+        const int ops = 30;
+        for (int op = 0; op < ops; ++op) {
+            int64_t pick = rng.uniformInt(0, 9);
+            if (pick >= 4) { // shared access under the discipline
+                int s = static_cast<int>(
+                    rng.uniformInt(0, kRaceScopes - 1));
+                int guard = out.lock_of[s];
+                if (out.buggy[s] && rng.chance(0.6))
+                    guard = rng.chance(0.5) ? 1 - guard : -1;
+                bool write = rng.chance(0.5);
+                if (guard >= 0)
+                    b.getStatic(out.shared_k,
+                                kSlotLock0 + static_cast<uint32_t>(
+                                                 guard))
+                        .monitorEnter();
+                if (s < kRaceBoxes * kRaceFields) {
+                    uint32_t box =
+                        kSlotBox0 +
+                        static_cast<uint32_t>(s / kRaceFields);
+                    int f = s % kRaceFields;
+                    if (write)
+                        b.getStatic(out.shared_k, box)
+                            .pushI(rng.uniformInt(0, 99))
+                            .putField(f);
+                    else
+                        b.getStatic(out.shared_k, box)
+                            .getField(f)
+                            .load(0)
+                            .add()
+                            .pushI(100003)
+                            .mod()
+                            .store(0);
+                } else {
+                    int64_t idx = rng.uniformInt(0, kRaceArrLen - 1);
+                    if (write)
+                        b.getStatic(out.shared_k, kSlotArr)
+                            .pushI(idx)
+                            .pushI(rng.uniformInt(0, 99))
+                            .astore();
+                    else
+                        b.getStatic(out.shared_k, kSlotArr)
+                            .pushI(idx)
+                            .aload()
+                            .load(0)
+                            .add()
+                            .pushI(100003)
+                            .mod()
+                            .store(0);
+                }
+                if (guard >= 0)
+                    b.getStatic(out.shared_k,
+                                kSlotLock0 + static_cast<uint32_t>(
+                                                 guard))
+                        .monitorExit();
+            } else if (pick >= 2) { // thread-local traffic
+                int f = static_cast<int>(
+                    rng.uniformInt(0, kRaceFields - 1));
+                b.newObj(out.shared_k).store(1);
+                b.load(1).pushI(rng.uniformInt(0, 9)).putField(f);
+                b.load(1).getField(f).load(0).add().store(0);
+            } else { // pure compute: interleaving variety
+                b.compute(rng.uniformInt(10, 300));
+            }
+        }
+        b.load(0).ret();
+        out.worker[w] = b.build();
+    }
+    return out;
+}
+
 } // namespace beehive::vm::fuzztest
 
 #endif // BEEHIVE_TESTS_FUZZ_SUPPORT_H

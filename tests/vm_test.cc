@@ -884,6 +884,84 @@ TEST_F(VmTest, MonitorReleaseHookFires)
     EXPECT_EQ(releases, 1);
 }
 
+TEST_F(VmTest, MonitorReentrantAcquisitionCompletes)
+{
+    // HiveVM monitors are unowned flags, not counters: nested
+    // enter/exit on the same object must still balance and fire the
+    // release hook once per exit.
+    CodeBuilder b(program, object_k, "reentrant", 1);
+    b.load(0).monitorEnter()
+     .load(0).monitorEnter()
+     .load(0).getField(0)
+     .load(0).monitorExit()
+     .load(0).monitorExit()
+     .ret();
+    MethodId m = b.build();
+    makeContext();
+    int releases = 0;
+    ctx->setMonitorReleaseHook([&](Ref) { ++releases; });
+    Ref obj = heap->allocPlain(point_k);
+    heap->setField(obj, 0, Value::ofInt(11));
+    EXPECT_EQ(callMethod(m, {Value::ofRef(obj)}).asInt(), 11);
+    EXPECT_EQ(releases, 2);
+    EXPECT_EQ(heap->header(obj).lock_owner, 1); // endpoint 0 + 1
+}
+
+TEST_F(VmTest, MonitorReleasesOnceAcrossRecoveryUnwind)
+{
+    // Failure recovery unwinds to a frame snapshot and re-executes
+    // the critical section. The re-run takes the monitor again, and
+    // exactly one release reaches the hook: the one of the granted
+    // (surviving) execution.
+    CodeBuilder b(program, object_k, "cs", 1);
+    b.load(0).monitorEnter()
+     .load(0).pushI(1).putField(0)
+     .load(0).monitorExit()
+     .pushI(7).ret();
+    MethodId m = b.build();
+    makeContext();
+
+    int asked = 0;
+    // Policy: enters run locally, exits demand the sync protocol.
+    ctx->setMonitorPolicy([&](Ref) { return (++asked % 2) == 0; });
+    int releases = 0;
+    ctx->setMonitorReleaseHook([&](Ref) { ++releases; });
+
+    Ref obj = heap->allocPlain(point_k);
+    Interpreter interp(*ctx);
+    interp.start(m, {Value::ofRef(obj)});
+    std::vector<Frame> entry = interp.snapshotFrames();
+
+    Suspend s = interp.run();
+    ASSERT_EQ(s.kind, Suspend::Kind::MonitorRelease);
+    EXPECT_EQ(releases, 0); // suspended exit released nothing
+
+    // The instance dies mid-exit: unwind and re-execute.
+    interp.restoreFrames(entry);
+    s = interp.run();
+    ASSERT_EQ(s.kind, Suspend::Kind::MonitorRelease);
+    interp.grantRelease();
+    s = interp.run();
+    ASSERT_EQ(s.kind, Suspend::Kind::Done);
+    EXPECT_EQ(s.result.asInt(), 7);
+    EXPECT_EQ(releases, 1);
+    EXPECT_EQ(asked, 4); // enter/exit per execution
+}
+
+TEST_F(VmTest, MonitorOpsOnNullDie)
+{
+    CodeBuilder b(program, object_k, "null_lock", 1);
+    b.load(0).monitorEnter().pushI(0).ret();
+    MethodId m = b.build();
+    makeContext();
+    // A nil value is not a reference; a null reference is a null
+    // dereference. Both are fatal before any monitor state changes.
+    EXPECT_DEATH(callMethod(m, {Value::nil()}),
+                 "expected a reference");
+    EXPECT_DEATH(callMethod(m, {Value::ofRef(kNullRef)}),
+                 "null dereference");
+}
+
 TEST_F(VmTest, VolatileAccessPlainSemanticsWithoutPolicy)
 {
     CodeBuilder b(program, object_k, "vol_rw", 1);
