@@ -39,6 +39,7 @@ main(int argc, char **argv)
     std::map<AppKind, std::map<Solution, BurstResult>> results;
     std::map<AppKind, std::map<Solution, BurstResult>> warm_results;
     std::map<AppKind, std::map<Solution, BurstResult>> snap_results;
+    std::map<AppKind, std::map<Solution, BurstResult>> static_results;
 
     for (AppKind app : apps) {
         for (Solution sol : solutions) {
@@ -59,6 +60,10 @@ main(int argc, char **argv)
                 opts.warm_faas = false;
                 opts.snapshot_faas = true;
                 snap_results[app][sol] = runBurstExperiment(opts);
+                opts.snapshot_faas = false;
+                opts.static_faas = true;
+                static_results[app][sol] = runBurstExperiment(opts);
+                opts.static_faas = false;
             }
         }
     }
@@ -162,6 +167,79 @@ main(int argc, char **argv)
                 std::string("Boot-path breakdown (snapshot run): ") +
                     appName(app) + ", " + solutionName(sol),
                 name, collectBootBreakdown(r.traces));
+            SnapshotChurn churn;
+            churn.evictions = r.snapshot_evictions;
+            churn.re_records = r.snapshot_re_records;
+            churn.manifests_synthesized = r.manifests_synthesized;
+            churn.refined_dropped = r.snapshot_refined_dropped;
+            for (const auto &[root, t] : r.traces)
+                churn.stale_prefetches += t.stale_prefetches;
+            printSnapshotChurn(
+                std::string("Snapshot-store churn (snapshot run): ") +
+                    appName(app) + ", " + solutionName(sol),
+                churn);
+        }
+    }
+
+    // --- Static-manifest (first-boot restore) variant: nothing was
+    // ever recorded; the reachability analysis synthesized the
+    // prefetch manifests at enableRoot time, so even the burst's
+    // FIRST boots take the restore path.
+    rows.clear();
+    for (AppKind app : apps) {
+        for (Solution sol : {Solution::BeeHiveO, Solution::BeeHiveL}) {
+            const BurstResult &r = static_results[app][sol];
+            const BurstResult &cold = results[app][sol];
+            auto shadowFetches = [](const BurstResult &br,
+                                    cloud::BootKind kind) {
+                uint64_t fetches = 0;
+                uint64_t n = 0;
+                for (const auto &[root, t] : br.traces) {
+                    if (t.boot != kind || !t.shadow)
+                        continue;
+                    fetches += t.remoteFetches();
+                    ++n;
+                }
+                return n ? static_cast<double>(fetches) /
+                               static_cast<double>(n)
+                         : std::nan("");
+            };
+            rows.push_back(
+                {appName(app), solutionName(sol), "static-restore",
+                 fmt(r.stabilization_seconds, 2),
+                 fmt(cold.stabilization_seconds, 2),
+                 fmt(r.stable_p99 * 1e3, 1),
+                 fmt(static_cast<double>(r.restore_boots), 0),
+                 fmt(static_cast<double>(r.cold_boots), 0),
+                 fmt(static_cast<double>(r.manifests_synthesized),
+                     0),
+                 fmt(shadowFetches(r, cloud::BootKind::Restore), 1),
+                 fmt(shadowFetches(cold, cloud::BootKind::Cold),
+                     1)});
+        }
+    }
+    printTable("Figure 7 follow-up: static-manifest restore "
+               "(first boot, nothing recorded)",
+               {"app", "solution", "variant", "stabilize_s",
+                "cold_stabilize_s", "stable_p99_ms", "restore_boots",
+                "cold_boots", "manifests", "fetch/restore_shadow",
+                "fetch/cold_shadow"},
+               rows);
+    for (AppKind app : apps) {
+        for (Solution sol : {Solution::BeeHiveO, Solution::BeeHiveL}) {
+            const BurstResult &r = static_results[app][sol];
+            SnapshotChurn churn;
+            churn.evictions = r.snapshot_evictions;
+            churn.re_records = r.snapshot_re_records;
+            churn.manifests_synthesized = r.manifests_synthesized;
+            churn.refined_dropped = r.snapshot_refined_dropped;
+            for (const auto &[root, t] : r.traces)
+                churn.stale_prefetches += t.stale_prefetches;
+            printSnapshotChurn(
+                std::string(
+                    "Snapshot-store churn (static-restore run): ") +
+                    appName(app) + ", " + solutionName(sol),
+                churn);
         }
     }
 
@@ -232,6 +310,26 @@ main(int argc, char **argv)
                 mean_snap_stab(Solution::BeeHiveO),
                 mean_stab(Solution::BeeHiveO, false),
                 mean_snap_stab(Solution::BeeHiveL),
+                mean_stab(Solution::BeeHiveL, false));
+
+    auto mean_static_stab = [&](Solution sol) {
+        double sum = 0;
+        int n = 0;
+        for (AppKind app : apps) {
+            const BurstResult &r = static_results[app][sol];
+            if (r.stabilization_seconds >= 0) {
+                sum += r.stabilization_seconds;
+                ++n;
+            }
+        }
+        return n ? sum / n : -1.0;
+    };
+    std::printf("mean stabilization (static-manifest restore, "
+                "first boot): BeeHiveO %.2f s vs %.2f s cold, "
+                "BeeHiveL %.2f s vs %.2f s cold\n",
+                mean_static_stab(Solution::BeeHiveO),
+                mean_stab(Solution::BeeHiveO, false),
+                mean_static_stab(Solution::BeeHiveL),
                 mean_stab(Solution::BeeHiveL, false));
     return 0;
 }

@@ -26,27 +26,46 @@
  *      Eraser guard lattice; unguarded shared writes are findings
  *      (warnings normally, errors under --strict so CI can gate on
  *      them without also opting into strict typing).
+ *   7. manifest soundness: each app runs a recording drill (as in
+ *      pass 5), then the static working-set inference
+ *      (vm/reachability_analysis.h) synthesizes a manifest for each
+ *      recorded endpoint and the recorded working set is checked to
+ *      be a *subset* of it. A recorded entry the manifest misses is
+ *      a soundness violation (error under --strict) unless the root
+ *      carries counted dynamic-dispatch escape hatches; the
+ *      overfetch upper bound (static minus recorded) is reported as
+ *      info, never gated.
  *
  * Findings are collected and sorted by (pass, class, method, pc)
  * before being emitted, so --json output is deterministic and
  * golden-file friendly.
  *
  * Usage: hivelint [--strict] [--quiet] [--json] [--pass <name>]
- *                 [--seed-race]
+ *                 [--seed-race] [--seed-unreachable]
  *   --strict  closed-world typing (see VerifyOptions::strict_types;
- *             the built-in apps intentionally fail it) and
- *             error-severity race findings.
+ *             the built-in apps intentionally fail it),
+ *             error-severity race findings, and error-severity
+ *             manifest soundness violations.
  *   --quiet   print only errors and the summary.
  *   --json    one JSON object per finding on stdout (JSONL), no
  *             human-readable chrome.
  *   --pass <name>  run a single pass in isolation (CI bisection,
  *             pass-cost benchmarking). Names: verify, offload,
- *             lock-order, closure, snapshot, race. "offload" covers
- *             the classification, effect and capture reports.
+ *             lock-order, closure, snapshot, race, manifest.
+ *             "offload" covers the classification, effect and
+ *             capture reports. An unknown name prints the list and
+ *             exits 2.
  *   --seed-race  inject a deliberately racy synthetic handler into
  *             the program before analyzing (self-test: the race
  *             pass must flag it, so `hivelint --seed-race --strict
  *             --pass race` exiting 0 means the detector is broken).
+ *   --seed-unreachable  run the manifest pass against a synthetic
+ *             program whose static publishes an object *violating
+ *             its type hint*, hiding a reachable field path from
+ *             the analysis with zero escape hatches. The pass must
+ *             report the dynamic reads escaping the static
+ *             footprint, so `hivelint --seed-unreachable --pass
+ *             manifest` exiting 0 means the checker is broken.
  *
  * Exit status: 0 when no Error-severity finding exists, 1 when at
  * least one does, 2 on usage errors or an internal failure (an
@@ -57,6 +76,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -69,8 +89,11 @@
 #include "harness/testbed.h"
 #include "snapshot/store.h"
 #include "support/strutil.h"
+#include "vm/code_builder.h"
+#include "vm/interpreter.h"
 #include "vm/offload_analysis.h"
 #include "vm/race_analysis.h"
+#include "vm/reachability_analysis.h"
 #include "vm/verifier.h"
 #include "workload/clients.h"
 
@@ -83,7 +106,7 @@ struct Finding
 {
     std::string kind;     //!< pass: verify | offload | effect |
                           //!< capture | lock-order | closure |
-                          //!< snapshot | race
+                          //!< snapshot | race | manifest
     std::string program;  //!< app / scope the finding concerns
     std::string method;   //!< qualified method name ("" when n/a)
     uint32_t pc = 0;
@@ -99,7 +122,8 @@ passRank(const std::string &kind)
     static const char *order[] = {"verify",     "offload",
                                   "effect",     "capture",
                                   "lock-order", "closure",
-                                  "snapshot",   "race"};
+                                  "snapshot",   "race",
+                                  "manifest"};
     for (std::size_t i = 0; i < std::size(order); ++i)
         if (kind == order[i])
             return static_cast<int>(i);
@@ -483,6 +507,301 @@ racePass(Reporter &rep, const vm::Program &program,
 }
 
 /**
+ * Pass 7: manifest soundness. Runs the same recording drill as the
+ * snapshot pass, then synthesizes a static manifest for each
+ * recorded endpoint (vm/reachability_analysis.h) and checks the
+ * superset invariant: every recorded working-set entry must be in
+ * the manifest. Misses on roots without escape hatches are
+ * soundness violations (error under --strict); the overfetch upper
+ * bound (static minus recorded) is informational only.
+ */
+void
+manifestPass(Reporter &rep, harness::AppKind kind, bool strict)
+{
+    harness::TestbedOptions options;
+    options.app = kind;
+    options.beehive.snapshot_enabled = true;
+    harness::Testbed bed(options);
+    const char *app = harness::appName(kind);
+    if (!bed.runProfilingPhase() || bed.manager() == nullptr) {
+        Finding f;
+        f.kind = "manifest";
+        f.program = app;
+        f.klass = "no-profile";
+        f.severity = "warning";
+        f.message = "profiling phase did not select the handler; "
+                    "manifest pass skipped";
+        rep.add(f);
+        return;
+    }
+
+    sim::SimTime t0 = bed.sim().now();
+    bed.manager()->setOffloadRatio(1.0);
+    workload::Recorder recorder;
+    workload::ClosedLoopClients clients(bed.sim(), bed.sink(),
+                                        recorder);
+    clients.start(2, t0);
+    bed.sim().runUntil(t0 + sim::SimTime::sec(6));
+    clients.stopAll();
+    bed.sim().runUntil(t0 + sim::SimTime::sec(8));
+
+    snapshot::SnapshotStore *snaps = bed.server().snapshots();
+    uint64_t epoch = bed.server().collector().totals().collections;
+    if (snaps == nullptr || snaps->recordedRoots() == 0) {
+        Finding f;
+        f.kind = "manifest";
+        f.program = app;
+        f.klass = "no-recording";
+        f.severity = "warning";
+        f.message = "drill produced no recorded working set";
+        rep.add(f);
+        return;
+    }
+
+    const vm::Program &program = bed.program();
+    vm::ProgramAnalysis pa(program);
+    vm::ReachabilityAnalysis reach(program, pa);
+
+    for (const snapshot::ImageComposition &c :
+         snaps->compositions(epoch)) {
+        vm::MethodId root = c.root;
+        std::string qname = program.qualifiedName(root);
+        vm::ReachReport rr = reach.analyzeRoot(root);
+        std::vector<vm::Ref> objects =
+            reach.resolveFootprint(rr, bed.server().context());
+        std::set<vm::Ref> manifest_objects(objects.begin(),
+                                           objects.end());
+        std::set<vm::KlassId> manifest_klasses(rr.klasses.begin(),
+                                               rr.klasses.end());
+        if (rr.needs_bytes_klass)
+            manifest_klasses.insert(
+                bed.server().context().config().bytes_klass);
+        for (vm::Ref r : objects)
+            manifest_klasses.insert(
+                bed.server().heap().header(r).klass);
+
+        snapshot::RestorePlan plan = snaps->planRestore(root, epoch);
+        uint64_t missed_klasses = 0;
+        std::string first_missed_klass;
+        for (vm::KlassId k : plan.klasses) {
+            if (manifest_klasses.count(k))
+                continue;
+            ++missed_klasses;
+            if (first_missed_klass.empty())
+                first_missed_klass = program.klass(k).name;
+        }
+        uint64_t missed_objects = 0;
+        for (vm::Ref r : plan.objects) {
+            if (!manifest_objects.count(r))
+                ++missed_objects;
+        }
+
+        if (missed_klasses + missed_objects > 0) {
+            Finding v;
+            v.kind = "manifest";
+            v.program = app;
+            v.method = qname;
+            if (rr.escape_hatches == 0) {
+                v.klass = "manifest-unsound";
+                v.severity = strict ? "error" : "warning";
+            } else {
+                // Recorded entries reached through dispatch sites
+                // the analysis explicitly could not bound; the
+                // escape hatches account for them.
+                v.klass = "manifest-escape-hatch";
+                v.severity = "info";
+            }
+            v.message = strprintf(
+                "%s: recorded working set escapes the static "
+                "manifest: %llu klass(es)%s%s%s, %llu object(s) "
+                "missed (%u escape hatch(es))",
+                qname.c_str(),
+                static_cast<unsigned long long>(missed_klasses),
+                first_missed_klass.empty() ? "" : " (first: ",
+                first_missed_klass.c_str(),
+                first_missed_klass.empty() ? "" : ")",
+                static_cast<unsigned long long>(missed_objects),
+                rr.escape_hatches);
+            rep.add(v);
+        }
+
+        // Overfetch upper bound: what the static manifest would
+        // prefetch beyond the recorded set. Informational -- an
+        // imprecise manifest costs bytes, never correctness.
+        std::set<vm::KlassId> recorded_klasses(plan.klasses.begin(),
+                                               plan.klasses.end());
+        std::set<vm::Ref> recorded_objects(plan.objects.begin(),
+                                           plan.objects.end());
+        uint64_t over_klasses = 0, over_objects = 0;
+        uint64_t over_bytes = 0;
+        for (vm::KlassId k : manifest_klasses) {
+            if (!recorded_klasses.count(k)) {
+                ++over_klasses;
+                over_bytes += program.klass(k).code_bytes;
+            }
+        }
+        for (vm::Ref r : manifest_objects) {
+            if (!recorded_objects.count(r)) {
+                ++over_objects;
+                over_bytes += bed.server().heap().header(r).size;
+            }
+        }
+
+        Finding f;
+        f.kind = "manifest";
+        f.program = app;
+        f.method = qname;
+        f.klass = "manifest-coverage";
+        f.severity = "info";
+        f.message = strprintf(
+            "%s: static manifest %zu klass(es) / %zu object(s) "
+            "covers recorded %zu/%zu; overfetch upper bound %llu "
+            "klass(es) + %llu object(s) (~%llu B); %u escape "
+            "hatch(es), %u cone expansion(s)",
+            qname.c_str(), manifest_klasses.size(),
+            manifest_objects.size(), plan.klasses.size(),
+            plan.objects.size(),
+            static_cast<unsigned long long>(over_klasses),
+            static_cast<unsigned long long>(over_objects),
+            static_cast<unsigned long long>(over_bytes),
+            rr.escape_hatches, rr.cone_expansions);
+        rep.add(f);
+    }
+}
+
+/**
+ * --seed-unreachable: build a synthetic program whose static slot
+ * publishes an object that *violates* its TypeHint (a klass the
+ * hint chain never names), so a field path the handler dynamically
+ * reads is invisible to the reachability analysis -- with zero
+ * escape hatches. Then run the handler for real and check the
+ * recorded reads against the static footprint: the pass must report
+ * the escape as an error. If it reports nothing, the checker has
+ * lost its teeth (and CI's negated invocation fails).
+ */
+void
+manifestSeedCheck(Reporter &rep)
+{
+    vm::Program program;
+    vm::Klass leaf;
+    leaf.name = "ManifestLeaf";
+    leaf.fields = {"v"};
+    vm::KlassId leaf_id = program.addKlass(leaf);
+    vm::Klass decl;
+    decl.name = "ManifestDecl";
+    decl.fields = {"x"};
+    vm::KlassId decl_id = program.addKlass(decl);
+    program.hintField(decl_id, 0, leaf_id);
+    vm::Klass hidden;
+    hidden.name = "ManifestHidden";
+    hidden.fields = {"x"};
+    vm::KlassId hidden_id = program.addKlass(hidden);
+    vm::Klass seed;
+    seed.name = "ManifestSeed";
+    seed.statics = {"slot"};
+    vm::KlassId seed_id = program.addKlass(seed);
+    // The lie: the slot is declared ManifestDecl but setup stores a
+    // ManifestHidden.
+    program.hintStatic(seed_id, 0, decl_id);
+
+    vm::CodeBuilder s(program, seed_id, "manifestSeedSetup", 0);
+    s.locals(2);
+    s.newObj(leaf_id).store(0);
+    s.load(0).pushI(7).putField(0);
+    s.newObj(hidden_id).store(1);
+    s.load(1).load(0).putField(0);
+    s.load(1).putStatic(seed_id, 0);
+    s.pushNil().ret();
+    vm::MethodId setup = s.build();
+
+    vm::CodeBuilder h(program, seed_id, "manifestSeedHandler", 1);
+    h.locals(2);
+    h.getStatic(seed_id, 0).store(1);
+    h.load(1).getField(0).store(2);
+    h.load(2).getField(0).ret();
+    vm::MethodId handler = h.build();
+
+    vm::ProgramAnalysis pa(program);
+    vm::ReachabilityAnalysis reach(program, pa);
+    vm::ReachReport rr = reach.analyzeRoot(handler);
+    std::set<vm::KlassId> closure(rr.klasses.begin(),
+                                  rr.klasses.end());
+
+    vm::NativeRegistry natives;
+    vm::Heap heap(program, 1 << 16, 1 << 20);
+    vm::VmContext ctx(program, natives, heap, vm::VmConfig{});
+    ctx.loadAll();
+    auto drive = [](vm::Interpreter &interp) {
+        while (interp.running()) {
+            vm::Suspend sus = interp.run();
+            if (sus.kind == vm::Suspend::Kind::Done)
+                break;
+            if (sus.kind != vm::Suspend::Kind::Quantum)
+                throw std::runtime_error(
+                    "seed program suspended unexpectedly");
+        }
+    };
+    vm::Interpreter setup_interp(ctx);
+    setup_interp.start(setup, {});
+    drive(setup_interp);
+
+    std::vector<vm::Ref> manifest = reach.resolveFootprint(rr, ctx);
+    std::set<vm::Ref> manifest_set(manifest.begin(),
+                                   manifest.end());
+
+    vm::Interpreter run(ctx);
+    run.enableRecording(true);
+    run.start(handler, {vm::Value::ofInt(0)});
+    drive(run);
+
+    uint64_t misses = 0;
+    auto miss = [&](const std::string &what) {
+        ++misses;
+        Finding f;
+        f.kind = "manifest";
+        f.program = "seed-unreachable";
+        f.method = program.qualifiedName(handler);
+        f.klass = "manifest-unsound";
+        f.severity = "error";
+        f.message = what + strprintf(" (%u escape hatch(es))",
+                                     rr.escape_hatches);
+        rep.add(f);
+    };
+    for (const auto &[k, idx] : run.recordedFieldReads()) {
+        if (!rr.footprint.containsField(k, idx))
+            miss(strprintf("dynamic field read %s.%s escapes the "
+                           "static footprint",
+                           program.klass(k).name.c_str(),
+                           program.klass(k).fields[idx].c_str()));
+    }
+    for (const auto &st : run.recordedStatics()) {
+        if (!rr.footprint.statics.count(st))
+            miss(strprintf("dynamic static read %s[%u] escapes the "
+                           "static footprint",
+                           program.klass(st.first).name.c_str(),
+                           st.second));
+    }
+    for (vm::KlassId k : run.recordedKlasses()) {
+        if (!closure.count(k))
+            miss(strprintf("dynamically required klass %s escapes "
+                           "the closure",
+                           program.klass(k).name.c_str()));
+    }
+
+    if (misses == 0) {
+        Finding f;
+        f.kind = "manifest";
+        f.program = "seed-unreachable";
+        f.klass = "checker-toothless";
+        f.severity = "warning";
+        f.message =
+            "seeded hint-violating program produced no soundness "
+            "finding; the manifest checker is broken";
+        rep.add(f);
+    }
+}
+
+/**
  * --seed-race: inject a synthetic handler with a textbook race --
  * an object published through a static slot whose field is written
  * without any monitor -- so CI can assert the race pass actually
@@ -520,7 +839,8 @@ seedRacyHandler(vm::Program &program)
 
 int
 runLint(bool strict, bool quiet, bool json,
-        const std::string &only_pass, bool seed_race)
+        const std::string &only_pass, bool seed_race,
+        bool seed_unreachable)
 {
     auto enabled = [&](const char *name) {
         return only_pass.empty() || only_pass == name;
@@ -626,6 +946,21 @@ runLint(bool strict, bool quiet, bool json,
               harness::AppKind::Blog})
             snapshotPass(rep, kind);
 
+    // ---- Pass 7: manifest soundness -----------------------------
+    if (enabled("manifest")) {
+        if (seed_unreachable) {
+            // Self-test only: the synthetic hint-violating program
+            // replaces the app drills, so the run's exit status
+            // reflects the checker catching (or missing) the seed.
+            manifestSeedCheck(rep);
+        } else {
+            for (harness::AppKind kind :
+                 {harness::AppKind::Thumbnail,
+                  harness::AppKind::Pybbs, harness::AppKind::Blog})
+                manifestPass(rep, kind, strict);
+        }
+    }
+
     rep.emit();
     if (!json)
         std::printf("hivelint: %zu error(s), %zu warning(s)\n",
@@ -642,10 +977,12 @@ main(int argc, char **argv)
     bool quiet = false;
     bool json = false;
     bool seed_race = false;
+    bool seed_unreachable = false;
     std::string only_pass;
     static const char *kPassNames[] = {"verify",  "offload",
                                        "lock-order", "closure",
-                                       "snapshot", "race"};
+                                       "snapshot", "race",
+                                       "manifest"};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--strict") == 0) {
             strict = true;
@@ -655,6 +992,8 @@ main(int argc, char **argv)
             json = true;
         } else if (std::strcmp(argv[i], "--seed-race") == 0) {
             seed_race = true;
+        } else if (std::strcmp(argv[i], "--seed-unreachable") == 0) {
+            seed_unreachable = true;
         } else if (std::strcmp(argv[i], "--pass") == 0 &&
                    i + 1 < argc) {
             only_pass = argv[++i];
@@ -665,20 +1004,22 @@ main(int argc, char **argv)
                 std::fprintf(stderr,
                              "hivelint: unknown pass '%s' (one of: "
                              "verify offload lock-order closure "
-                             "snapshot race)\n",
+                             "snapshot race manifest)\n",
                              only_pass.c_str());
                 return 2;
             }
         } else {
             std::fprintf(stderr,
                          "usage: hivelint [--strict] [--quiet] "
-                         "[--json] [--pass <name>] [--seed-race]\n");
+                         "[--json] [--pass <name>] [--seed-race] "
+                         "[--seed-unreachable]\n");
             return 2;
         }
     }
 
     try {
-        return runLint(strict, quiet, json, only_pass, seed_race);
+        return runLint(strict, quiet, json, only_pass, seed_race,
+                       seed_unreachable);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "hivelint: internal failure: %s\n",
                      e.what());

@@ -151,6 +151,21 @@ struct BeeHiveConfig
     uint32_t snapshot_min_boots = 1;
 
     /**
+     * Synthesize a *static* prefetch manifest for every enabled
+     * root (vm/reachability_analysis.h): the klass closure and the
+     * server-object footprint the reachability analysis infers are
+     * folded into the snapshot store at enableRoot time, so even
+     * the endpoint's *first* boot takes the restore path -- no
+     * recorded cold boot (and no Table 5 fault storm) required.
+     * Recorded boots, when they happen, refine the static
+     * over-approximation by intersection. Off by default so all
+     * existing experiment numbers stay bit-identical; an imprecise
+     * manifest costs overfetch bytes through the idempotent fetch
+     * path, never correctness.
+     */
+    bool static_manifests = false;
+
+    /**
      * Install the FastTrack-style dynamic race oracle
      * (vm/race_oracle.h) on the server VM: every interpreter then
      * maintains vector clocks and concrete races are recorded on

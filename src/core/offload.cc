@@ -1,6 +1,9 @@
 #include "core/offload.h"
 
+#include <set>
+
 #include "support/logging.h"
+#include "vm/reachability_analysis.h"
 
 namespace beehive::core {
 
@@ -107,6 +110,46 @@ OffloadManager::enableRoot(vm::MethodId root,
     }
     state.enabled = true;
     state.sample_args = std::move(sample_args);
+
+    if (server_.config().static_manifests) {
+        if (snapshot::SnapshotStore *snaps = server_.snapshots()) {
+            // Static working-set inference: synthesize a prefetch
+            // manifest from the reachability closure and the
+            // footprint resolved against the live server heap, so
+            // this endpoint's *first* boot already takes the
+            // restore path instead of eating the fault storm.
+            vm::ReachabilityAnalysis reach(program,
+                                           analysis.analysis());
+            vm::ReachReport rr = reach.analyzeRoot(root);
+            std::vector<vm::Ref> objects =
+                reach.resolveFootprint(rr, server_.context());
+            std::vector<vm::KlassId> klasses = rr.klasses;
+            std::set<vm::KlassId> klass_set(klasses.begin(),
+                                            klasses.end());
+            auto add_klass = [&](vm::KlassId k) {
+                if (k != vm::kNoKlass && klass_set.insert(k).second)
+                    klasses.push_back(k);
+            };
+            // NewBytes allocates the ambient byte klass of the VM
+            // configuration; it never appears as a bytecode
+            // operand, so the report only flags it.
+            if (rr.needs_bytes_klass)
+                add_klass(server_.context().config().bytes_klass);
+            // The object-fault path also loads each fetched
+            // object's header klass.
+            for (vm::Ref r : objects)
+                add_klass(server_.heap().header(r).klass);
+            snaps->synthesizeManifest(
+                root, klasses, objects,
+                server_.collector().totals().collections);
+            inform("manifest-synthesis: %s: %zu klass(es), %zu "
+                   "object(s), %u escape hatch(es), %u cone "
+                   "expansion(s)",
+                   program.qualifiedName(root).c_str(),
+                   klasses.size(), objects.size(),
+                   rr.escape_hatches, rr.cone_expansions);
+        }
+    }
 }
 
 vm::OffloadClass

@@ -267,7 +267,10 @@ BeeHiveServer::BeeHiveServer(sim::Simulation &sim, net::Network &net,
     ctx_->loadAll();
     ctx_->setProfiler(&profiler_);
 
-    if (config_.snapshot_enabled) {
+    if (config_.snapshot_enabled || config_.static_manifests) {
+        // static_manifests needs the store even with recording off:
+        // synthesized manifests live in it and serve the restore
+        // path exactly like recorded images.
         snapshots_ = std::make_unique<snapshot::SnapshotStore>(
             program_, *heap_, config_.snapshot_image_budget_bytes,
             config_.snapshot_min_boots);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "snapshot/store.h"
 #include "support/logging.h"
 
 namespace beehive::harness {
@@ -82,11 +83,13 @@ runBurstExperiment(const BurstOptions &options)
                        : FaasFlavor::OpenWhisk;
     tb_opts.framework = options.framework;
     tb_opts.beehive = options.beehive;
-    if (options.snapshot_faas && isBeeHive(options.solution)) {
-        tb_opts.beehive.snapshot_enabled = true;
-        // Short keep-alive: the drill's instances must actually
-        // leave the cache before the burst, or warm boots would
-        // mask the restore path under study.
+    if ((options.snapshot_faas || options.static_faas) &&
+        isBeeHive(options.solution)) {
+        // Short keep-alive: cached instances must actually leave
+        // the cache before the burst, or warm boots would mask the
+        // restore path under study.
+        tb_opts.beehive.snapshot_enabled = options.snapshot_faas;
+        tb_opts.beehive.static_manifests = options.static_faas;
         tb_opts.faas_keep_alive = SimTime::sec(8);
     }
     Testbed bed(tb_opts);
@@ -247,6 +250,14 @@ runBurstExperiment(const BurstOptions &options)
         result.cold_boots = bed.platform()->coldBoots();
         result.warm_boots = bed.platform()->warmBoots();
         result.restore_boots = bed.platform()->restoreBoots();
+        if (const auto *snaps = bed.server().snapshots()) {
+            result.snapshot_evictions = snaps->evictions();
+            result.snapshot_re_records = snaps->reRecords();
+            result.manifests_synthesized =
+                snaps->manifestsSynthesized();
+            result.snapshot_refined_dropped =
+                snaps->refinedDropped();
+        }
         result.traces = bed.manager()->traces();
         for (const auto &[root, trace] : result.traces) {
             if (!result.root_names.count(root))

@@ -69,6 +69,16 @@ struct BurstOptions
      */
     bool snapshot_faas = false;
 
+    /**
+     * Static-manifest variant: static_manifests is enabled, so
+     * every root gets a synthesized prefetch manifest the moment it
+     * is enabled for offload -- before any instance exists. Unlike
+     * @ref snapshot_faas there is NO recording drill: the burst's
+     * fresh instances take the restore path on their *first* boot,
+     * off a working set that was never observed, only inferred.
+     */
+    bool static_faas = false;
+
     /** Offloading ratio applied at the burst. */
     double offload_ratio = 0.5;
 
@@ -101,6 +111,11 @@ struct BurstResult
     uint64_t cold_boots = 0;
     uint64_t warm_boots = 0;
     uint64_t restore_boots = 0;
+    /** SnapshotStore churn (zero when no store was constructed). */
+    uint64_t snapshot_evictions = 0;
+    uint64_t snapshot_re_records = 0;
+    uint64_t manifests_synthesized = 0;
+    uint64_t snapshot_refined_dropped = 0;
     /** Completed invocation traces (boot breakdown reporting). */
     std::vector<std::pair<vm::MethodId, core::RequestTrace>> traces;
     /** Qualified names of the roots in @ref traces (the program

@@ -139,4 +139,20 @@ printBootBreakdown(
                cells);
 }
 
+void
+printSnapshotChurn(const std::string &title,
+                   const SnapshotChurn &churn)
+{
+    auto u = [](uint64_t v) {
+        return strprintf("%llu", static_cast<unsigned long long>(v));
+    };
+    printTable(title,
+               {"evictions", "re_records", "manifests", "refined",
+                "stale"},
+               {{u(churn.evictions), u(churn.re_records),
+                 u(churn.manifests_synthesized),
+                 u(churn.refined_dropped),
+                 u(churn.stale_prefetches)}});
+}
+
 } // namespace beehive::harness

@@ -72,6 +72,26 @@ void printBootBreakdown(
     const std::function<std::string(vm::MethodId)> &name,
     const std::vector<BootBreakdownRow> &rows);
 
+/**
+ * Store-level churn of one run's SnapshotStore: how often the LRU
+ * budget evicted an image, how many endpoints had to re-record after
+ * eviction, how many manifests were synthesized statically and how
+ * many synthetic entries recorded boots refined away. Printed next
+ * to the boot breakdown so eviction churn can be read against the
+ * stale-prefetch column it tends to precede.
+ */
+struct SnapshotChurn
+{
+    uint64_t evictions = 0;
+    uint64_t re_records = 0;
+    uint64_t manifests_synthesized = 0;
+    uint64_t refined_dropped = 0;
+    uint64_t stale_prefetches = 0; //!< summed over the traces
+};
+
+void printSnapshotChurn(const std::string &title,
+                        const SnapshotChurn &churn);
+
 } // namespace beehive::harness
 
 #endif // BEEHIVE_HARNESS_REPORT_H

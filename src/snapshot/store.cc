@@ -13,12 +13,26 @@ SnapshotStore::SnapshotStore(const vm::Program &program,
 {
 }
 
+SnapshotStore::WorkingSet &
+SnapshotStore::workingSetFor(vm::MethodId root)
+{
+    if (!roots_.count(root) && evicted_roots_.erase(root))
+        ++re_records_;
+    return roots_[root];
+}
+
 void
 SnapshotStore::recordClassFault(vm::MethodId root, vm::KlassId klass)
 {
-    WorkingSet &ws = roots_[root];
-    if (!ws.klass_set.insert(klass).second)
+    WorkingSet &ws = workingSetFor(root);
+    if (ws.synthetic)
+        ++ws.faults_since_synthesis;
+    if (!ws.klass_set.insert(klass).second) {
+        // A recorded fault landing on a synthetic entry confirms
+        // it: the static over-approximation was right here.
+        ws.unconfirmed_klasses.erase(klass);
         return;
+    }
     ws.klasses.push_back(klass);
     uint64_t bytes = program_.klass(klass).code_bytes;
     ws.bytes += bytes;
@@ -33,9 +47,13 @@ SnapshotStore::recordObjectFault(vm::MethodId root,
     server_ref = vm::stripRemote(server_ref);
     if (server_ref == vm::kNullRef)
         return;
-    WorkingSet &ws = roots_[root];
-    if (!ws.object_set.insert(server_ref).second)
+    WorkingSet &ws = workingSetFor(root);
+    if (ws.synthetic)
+        ++ws.faults_since_synthesis;
+    if (!ws.object_set.insert(server_ref).second) {
+        ws.unconfirmed_objects.erase(server_ref);
         return;
+    }
     // The fault was just served from this address, so the header is
     // valid right now; its shape is remembered for revalidation.
     const vm::ObjHeader &hdr = heap_.header(server_ref);
@@ -54,20 +72,107 @@ SnapshotStore::recordObjectFault(vm::MethodId root,
 void
 SnapshotStore::endRecordedBoot(vm::MethodId root)
 {
-    WorkingSet &ws = roots_[root];
+    WorkingSet &ws = workingSetFor(root);
     ++ws.folded_boots;
     ws.lru = ++lru_clock_;
+    if (ws.synthetic && ws.faults_since_synthesis > 0) {
+        // Refinement: intersect the static over-approximation with
+        // what the recorded boot actually touched. Unconfirmed
+        // synthetic entries are dropped -- if one turns out to be
+        // needed later it just faults through the idempotent fetch
+        // path, so this trades bytes for precision, never
+        // correctness.
+        std::vector<vm::KlassId> kept_klasses;
+        for (vm::KlassId k : ws.klasses) {
+            if (ws.unconfirmed_klasses.count(k)) {
+                ws.klass_set.erase(k);
+                uint64_t bytes = program_.klass(k).code_bytes;
+                ws.bytes -= bytes;
+                total_bytes_ -= bytes;
+                ++refined_dropped_;
+            } else {
+                kept_klasses.push_back(k);
+            }
+        }
+        ws.klasses = std::move(kept_klasses);
+        std::vector<RecordedObject> kept_objects;
+        for (const RecordedObject &o : ws.objects) {
+            if (ws.unconfirmed_objects.count(o.ref)) {
+                ws.object_set.erase(o.ref);
+                ws.bytes -= o.size;
+                total_bytes_ -= o.size;
+                ++refined_dropped_;
+            } else {
+                kept_objects.push_back(o);
+            }
+        }
+        ws.objects = std::move(kept_objects);
+        ws.unconfirmed_klasses.clear();
+        ws.unconfirmed_objects.clear();
+        ws.faults_since_synthesis = 0;
+        ws.synthetic = false; // now a recorded working set
+    }
     evictOverBudget();
+}
+
+void
+SnapshotStore::synthesizeManifest(
+    vm::MethodId root, const std::vector<vm::KlassId> &klasses,
+    const std::vector<vm::Ref> &objects, uint64_t gc_epoch)
+{
+    WorkingSet &ws = workingSetFor(root);
+    ws.synthetic = true;
+    ++manifests_synthesized_;
+    for (vm::KlassId k : klasses) {
+        if (!ws.klass_set.insert(k).second)
+            continue;
+        ws.klasses.push_back(k);
+        ws.unconfirmed_klasses.insert(k);
+        uint64_t bytes = program_.klass(k).code_bytes;
+        ws.bytes += bytes;
+        total_bytes_ += bytes;
+    }
+    for (vm::Ref ref : objects) {
+        ref = vm::stripRemote(ref);
+        if (ref == vm::kNullRef || !ws.object_set.insert(ref).second)
+            continue;
+        const vm::ObjHeader &hdr = heap_.header(ref);
+        RecordedObject obj;
+        obj.ref = ref;
+        obj.klass = hdr.klass;
+        obj.kind = static_cast<uint8_t>(hdr.kind);
+        obj.count = hdr.count;
+        obj.size = hdr.size;
+        obj.gc_epoch = gc_epoch;
+        ws.objects.push_back(obj);
+        ws.unconfirmed_objects.insert(ref);
+        ws.bytes += hdr.size;
+        total_bytes_ += hdr.size;
+    }
+    ws.lru = ++lru_clock_;
+    evictOverBudget();
+}
+
+bool
+SnapshotStore::isSynthetic(vm::MethodId root) const
+{
+    auto it = roots_.find(root);
+    return it != roots_.end() && it->second.synthetic;
 }
 
 bool
 SnapshotStore::hasImage(vm::MethodId root) const
 {
     auto it = roots_.find(root);
-    return it != roots_.end() &&
-           it->second.folded_boots >= min_boots_ &&
-           (!it->second.klasses.empty() ||
-            !it->second.objects.empty());
+    if (it == roots_.end())
+        return false;
+    const WorkingSet &ws = it->second;
+    // Synthetic manifests serve restores from boot one: inferring
+    // the working set statically is the whole point of the
+    // `static_manifests` knob.
+    if (!ws.synthetic && ws.folded_boots < min_boots_)
+        return false;
+    return !ws.klasses.empty() || !ws.objects.empty();
 }
 
 bool
@@ -253,6 +358,7 @@ SnapshotStore::compositions(uint64_t current_gc_epoch) const
         c.base_hash = base_hash;
         c.delta_hash = delta.contentHash();
         c.folded_boots = ws.folded_boots;
+        c.synthetic = ws.synthetic;
         out.push_back(c);
     }
     return out;
@@ -302,6 +408,7 @@ SnapshotStore::evictOverBudget()
             }
         }
         total_bytes_ -= victim->second.bytes;
+        evicted_roots_.insert(victim->first);
         roots_.erase(victim);
         ++evictions_;
     }

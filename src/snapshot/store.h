@@ -27,7 +27,20 @@
  *
  * Budget: recordings are bounded by a byte budget; when folding a
  * boot pushes the store over it, least-recently-used endpoints are
- * evicted (their next cold boot starts recording afresh).
+ * evicted (their next cold boot starts recording afresh). An
+ * endpoint that starts recording again after an eviction is counted
+ * as a *re-record*, so budget-pressure churn is observable.
+ *
+ * Synthesis: under the `static_manifests` knob the offload manager
+ * feeds this store *statically inferred* working sets
+ * (vm/reachability_analysis.h) via synthesizeManifest(). A
+ * synthetic manifest serves restore boots immediately -- no cold
+ * boot ever has to be recorded first -- and is refined by whatever
+ * recorded boots do happen later: entries of the static
+ * over-approximation that no recorded boot confirms are dropped
+ * (the intersection claws back the overfetch), which is safe
+ * because a dropped entry that turns out to be needed simply
+ * faults through the idempotent fetch path.
  */
 
 #ifndef BEEHIVE_SNAPSHOT_STORE_H
@@ -74,6 +87,7 @@ struct ImageComposition
     uint64_t delta_hash = 0;
     uint64_t folded_boots = 0;
     uint64_t stale_objects = 0; //!< stale right now (vs live heap)
+    bool synthetic = false;     //!< static manifest, not yet refined
 };
 
 /** Records working sets and plans restore boots. */
@@ -98,6 +112,22 @@ class SnapshotStore
     /** Fold one finished cold boot; may trigger LRU eviction. */
     void endRecordedBoot(vm::MethodId root);
     /// @}
+
+    /**
+     * Install a statically inferred working set for @p root (klass
+     * closure + resolved object footprint). The endpoint serves
+     * restore boots immediately, regardless of min_boots. Recorded
+     * faults landing on synthetic entries *confirm* them; when a
+     * recorded boot ends, still-unconfirmed synthetic entries are
+     * dropped (refinement). May trigger LRU eviction.
+     */
+    void synthesizeManifest(vm::MethodId root,
+                            const std::vector<vm::KlassId> &klasses,
+                            const std::vector<vm::Ref> &objects,
+                            uint64_t gc_epoch);
+
+    /** Is @p root's image (still) a static, unrefined manifest? */
+    bool isSynthetic(vm::MethodId root) const;
 
     /** True when @p root has an image ready for restore boots. */
     bool hasImage(vm::MethodId root) const;
@@ -134,6 +164,14 @@ class SnapshotStore
     uint64_t evictions() const { return evictions_; }
     uint64_t recordedRoots() const { return roots_.size(); }
     uint64_t restoresPlanned() const { return restores_planned_; }
+    /** Endpoints that started recording again after an eviction. */
+    uint64_t reRecords() const { return re_records_; }
+    uint64_t manifestsSynthesized() const
+    {
+        return manifests_synthesized_;
+    }
+    /** Synthetic entries dropped by recorded-boot refinement. */
+    uint64_t refinedDropped() const { return refined_dropped_; }
     /// @}
 
   private:
@@ -156,6 +194,13 @@ class SnapshotStore
         uint64_t folded_boots = 0;
         uint64_t bytes = 0; //!< raw recording footprint
         uint64_t lru = 0;
+        /** Statically synthesized, not yet refined by a recording. */
+        bool synthetic = false;
+        /** Synthetic entries no recorded fault has confirmed yet. */
+        std::set<vm::KlassId> unconfirmed_klasses;
+        std::set<vm::Ref> unconfirmed_objects;
+        /** Faults recorded since synthesis (refinement trigger). */
+        uint64_t faults_since_synthesis = 0;
     };
 
     /** Is @p obj still the object that was recorded? */
@@ -168,14 +213,22 @@ class SnapshotStore
 
     void evictOverBudget();
 
+    /** roots_[root], counting a re-record when @p root was evicted. */
+    WorkingSet &workingSetFor(vm::MethodId root);
+
     const vm::Program &program_;
     const vm::Heap &heap_;
     uint64_t budget_bytes_;
     uint32_t min_boots_;
     std::map<vm::MethodId, WorkingSet> roots_;
+    /** Roots evicted at least once (re-record detection). */
+    std::set<vm::MethodId> evicted_roots_;
     uint64_t total_bytes_ = 0;
     uint64_t evictions_ = 0;
     uint64_t restores_planned_ = 0;
+    uint64_t re_records_ = 0;
+    uint64_t manifests_synthesized_ = 0;
+    uint64_t refined_dropped_ = 0;
     uint64_t lru_clock_ = 0;
 };
 

@@ -196,6 +196,7 @@ ProgramAnalysis::ProgramAnalysis(const Program &program)
     transitive_.resize(n);
     accesses_.resize(n);
     locked_calls_.resize(n);
+    virt_sites_.resize(n);
     cg_.callees.resize(n);
     cg_.natives.resize(n);
     for (MethodId id = 0; id < n; ++id)
@@ -231,6 +232,13 @@ ProgramAnalysis::callSiteLocks(MethodId id) const
 {
     bh_assert(id < locked_calls_.size(), "bad method id %u", id);
     return locked_calls_[id];
+}
+
+const std::vector<VirtualSite> &
+ProgramAnalysis::virtualSites(MethodId id) const
+{
+    bh_assert(id < virt_sites_.size(), "bad method id %u", id);
+    return virt_sites_[id];
 }
 
 void
@@ -772,6 +780,15 @@ ProgramAnalysis::analyzeMethod(MethodId id)
                                       name.c_str())});
                     } else {
                         recordCall(targets);
+                        if (recv.klass != kNoKlass) {
+                            // Devirtualized through the receiver
+                            // hint; remember the site so closure
+                            // clients can re-expand it over the
+                            // hint's subclass cone.
+                            virt_sites_[id].push_back(VirtualSite{
+                                pc, static_cast<NameId>(in.a),
+                                recv.klass});
+                        }
                     }
                 }
                 push(AbsVal{});

@@ -156,6 +156,22 @@ struct CallSiteLocks
 };
 
 /**
+ * One devirtualized CallVirt site. The call graph keeps only the
+ * single target the statically known receiver klass resolves to;
+ * clients that must not under-approximate dynamic dispatch (the
+ * reachability closure feeding prefetch manifests) re-expand the
+ * site over every subclass of the receiver hint, because the hint
+ * may be a superclass of the runtime receiver and each subclass can
+ * override the callee.
+ */
+struct VirtualSite
+{
+    uint32_t pc = 0;
+    NameId name = 0;              //!< the virtual method name
+    KlassId receiver = kNoKlass;  //!< statically known receiver klass
+};
+
+/**
  * What one method (intra) or one call subtree (transitive) does to
  * state outside its own frame. Every domain is a finite set, so
  * unioning summaries is the lattice join.
@@ -266,6 +282,9 @@ class ProgramAnalysis
     /** Resolved bytecode call sites of @p id with held locksets. */
     const std::vector<CallSiteLocks> &callSiteLocks(MethodId id) const;
 
+    /** Devirtualized CallVirt sites of @p id's bytecode. */
+    const std::vector<VirtualSite> &virtualSites(MethodId id) const;
+
     /** Edges of the lock graph, for diagnostics. */
     const std::map<LockToken, std::set<LockToken>> &lockGraph() const
     {
@@ -287,6 +306,8 @@ class ProgramAnalysis
     std::vector<std::vector<AccessRecord>> accesses_;
     /** Call sites with their held locksets (all resolved calls). */
     std::vector<std::vector<CallSiteLocks>> locked_calls_;
+    /** Devirtualized CallVirt sites per method. */
+    std::vector<std::vector<VirtualSite>> virt_sites_;
     /** Intra-method lock nesting edges. */
     std::map<LockToken, std::set<LockToken>> lock_edges_;
     std::vector<LockCycle> cycles_;

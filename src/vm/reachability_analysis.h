@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Static working-set inference for endpoint roots.
+ *
+ * An Andersen-style, flow-insensitive points-to/reachability
+ * analysis layered on the interprocedural framework (vm/analysis.h).
+ * For one endpoint root it computes the two halves of the working
+ * set that a fresh FaaS instance would otherwise fault in one
+ * round trip at a time (the Table 5 fault storm):
+ *
+ *  - the **klass closure**: every klass the missing-code fallback
+ *    can load while executing anything reachable from the root --
+ *    method owners, `New`/`NewArr` operand klasses, static-slot
+ *    owner klasses, and (when `NewBytes` is reachable) the ambient
+ *    byte klass of the VM configuration; and
+ *
+ *  - the **abstract object footprint**: the static slots and
+ *    (klass, field) access paths reachable code can read, expressed
+ *    as a CaptureSet. resolveFootprint() grounds this abstraction
+ *    against the *live server heap* at image-synthesis time,
+ *    walking from the footprint's statics through exactly the
+ *    fields the footprint admits and returning the concrete server
+ *    objects a first boot could object-fault on.
+ *
+ * Dynamic dispatch is the one place the underlying call graph
+ * under-approximates: a devirtualized CallVirt keeps only the
+ * target that the *declared* receiver hint resolves to, but at run
+ * time the receiver may be any subclass overriding the method. The
+ * closure therefore re-expands every recorded VirtualSite over the
+ * receiver hint's subclass cone. Sites the framework could not
+ * bound at all (unknown receiver *and* unknown name, or bailed
+ * methods) widen the footprint and are surfaced as counted *escape
+ * hatches* so clients (hivelint pass 7) can distinguish "sound by
+ * construction" from "sound modulo N unbounded dispatch sites".
+ *
+ * Soundness contract: for any execution of the root on an input
+ * whose reads stay within the analyzed bytecode, the dynamic klass
+ * fault set is a subset of the klass closure and the dynamic object
+ * fault set is a subset of the resolved footprint -- modulo the
+ * counted escape hatches. The inverse (precision) is *not*
+ * promised: an over-approximate manifest costs overfetch bytes on
+ * the restore path, never correctness, because plan revalidation
+ * and the idempotent fetch path tolerate extra entries.
+ */
+
+#ifndef BEEHIVE_VM_REACHABILITY_ANALYSIS_H
+#define BEEHIVE_VM_REACHABILITY_ANALYSIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/analysis.h"
+#include "vm/program.h"
+#include "vm/value.h"
+
+namespace beehive::vm {
+
+class VmContext;
+
+/** Statically inferred working set of one endpoint root. */
+struct ReachReport
+{
+    MethodId root = kNoMethod;
+    /** Cone-expanded reachable method set, root included (sorted). */
+    std::vector<MethodId> methods;
+    /** Klass closure the missing-code fallback can load (sorted). */
+    std::vector<KlassId> klasses;
+    /** Abstract object footprint (statics + field access paths). */
+    CaptureSet footprint;
+    /** A reachable NewBytes allocates the ambient byte klass. */
+    bool needs_bytes_klass = false;
+    /** Dispatch sites the analysis could not bound (see file doc). */
+    uint32_t escape_hatches = 0;
+    /** Methods added beyond the devirtualized call-graph edges. */
+    uint32_t cone_expansions = 0;
+};
+
+/**
+ * The analysis. Constructed once per program over an existing
+ * ProgramAnalysis (which must outlive it); per-root queries are
+ * pure and deterministic.
+ */
+class ReachabilityAnalysis
+{
+  public:
+    ReachabilityAnalysis(const Program &program,
+                         const ProgramAnalysis &analysis);
+
+    /** Infer the static working set of @p root. */
+    ReachReport analyzeRoot(MethodId root) const;
+
+    /**
+     * Ground @p report's abstract footprint against the live server
+     * heap: walk from its static slots through exactly the fields
+     * the footprint admits (all elements of reachable arrays) and
+     * return the concrete server objects, in deterministic BFS
+     * order. The caller synthesizes these -- plus their header
+     * klasses, which the object-fault path loads -- into a prefetch
+     * manifest.
+     */
+    std::vector<Ref> resolveFootprint(const ReachReport &report,
+                                      VmContext &server) const;
+
+    /** @p k plus every transitive subclass of @p k (sorted). */
+    const std::vector<KlassId> &subclassCone(KlassId k) const;
+
+  private:
+    const Program &program_;
+    const ProgramAnalysis &analysis_;
+    /** Per-klass subclass cone, self included. */
+    std::vector<std::vector<KlassId>> cones_;
+};
+
+} // namespace beehive::vm
+
+#endif // BEEHIVE_VM_REACHABILITY_ANALYSIS_H

@@ -1,13 +1,23 @@
 /**
  * @file
- * Shared fuzz-program generator.
+ * Shared fuzz-program generator family.
  *
- * A seeded generator emitting random (but well-formed) bytecode
- * that mixes arithmetic, object allocation, field traffic, and
- * object graph rewiring. Used by fuzz_test (determinism / GC
- * transparency / capture soundness) and snapshot_test (the restore
- * plan must cover the dynamic fault set of every generated
- * program).
+ * One seeded generator toolkit emitting random (but well-formed)
+ * bytecode, shared by every fuzz oracle in the suite so the three
+ * users stay one implementation instead of near-copies:
+ *
+ *  - emitLocalGraphOps(): the thread-local op mix (arithmetic,
+ *    allocation, field traffic, graph rewiring). generateProgram()
+ *    wraps it for the determinism / GC-transparency / capture-
+ *    soundness fuzz (fuzz_test) and the restore-plan fuzz
+ *    (snapshot_test).
+ *  - makeSharedScaffold(): the shared-state endpoint scaffold (two
+ *    published boxes, two locks, one published array, a setup
+ *    method that fully initializes through local receivers before
+ *    publishing). generateRaceProgram() layers the lock-discipline
+ *    ground truth on it (race_test); generateManifestProgram()
+ *    layers object graphs and a static-reading handler on it
+ *    (reachability_test's manifest-superset fuzz).
  */
 
 #ifndef BEEHIVE_TESTS_FUZZ_SUPPORT_H
@@ -24,31 +34,22 @@ namespace beehive::vm::fuzztest {
 constexpr int kIntSlots = 4;  //!< locals 0..3 hold ints
 constexpr int kRefSlots = 3;  //!< locals 4..6 hold Node refs
 
-/** Emit a random program; returns its entry method. */
-inline MethodId
-generateProgram(Program &program, KlassId object_k, KlassId node_k,
-                uint64_t seed)
+/**
+ * Emit @p ops random thread-local operations: arithmetic over the
+ * int slots, fresh allocations, field traffic and object graph
+ * rewiring over the ref slots. Assumes locals [0, kIntSlots) hold
+ * ints and locals [kIntSlots, kIntSlots + kRefSlots) hold non-nil
+ * Node refs (klass @p node_k with fields {next, payload}).
+ */
+inline void
+emitLocalGraphOps(CodeBuilder &b, Rng &rng, KlassId object_k,
+                  KlassId node_k, int ops)
 {
-    Rng rng(seed);
-    CodeBuilder b(program, object_k,
-                  "fuzz_" + std::to_string(seed), 0);
-    b.locals(kIntSlots + kRefSlots);
-
     auto int_slot = [&] { return rng.uniformInt(0, kIntSlots - 1); };
     auto ref_slot = [&] {
         return kIntSlots + rng.uniformInt(0, kRefSlots - 1);
     };
 
-    // Initialise: ints to constants, refs to fresh nodes.
-    for (int i = 0; i < kIntSlots; ++i)
-        b.pushI(rng.uniformInt(-50, 50)).store(i);
-    for (int i = 0; i < kRefSlots; ++i) {
-        b.newObj(node_k).store(kIntSlots + i);
-        b.load(kIntSlots + i).pushI(rng.uniformInt(0, 9))
-            .putField(1);
-    }
-
-    const int ops = 120;
     for (int op = 0; op < ops; ++op) {
         switch (rng.uniformInt(0, 6)) {
           case 0: { // int = int (+|-|*) int
@@ -96,6 +97,28 @@ generateProgram(Program &program, KlassId object_k, KlassId node_k,
           }
         }
     }
+}
+
+/** Emit a random locals-only program; returns its entry method. */
+inline MethodId
+generateProgram(Program &program, KlassId object_k, KlassId node_k,
+                uint64_t seed)
+{
+    Rng rng(seed);
+    CodeBuilder b(program, object_k,
+                  "fuzz_" + std::to_string(seed), 0);
+    b.locals(kIntSlots + kRefSlots);
+
+    // Initialise: ints to constants, refs to fresh nodes.
+    for (int i = 0; i < kIntSlots; ++i)
+        b.pushI(rng.uniformInt(-50, 50)).store(i);
+    for (int i = 0; i < kRefSlots; ++i) {
+        b.newObj(node_k).store(kIntSlots + i);
+        b.load(kIntSlots + i).pushI(rng.uniformInt(0, 9))
+            .putField(1);
+    }
+
+    emitLocalGraphOps(b, rng, object_k, node_k, 120);
 
     // Result: mix of the int slots and reachable payloads.
     b.pushI(0);
@@ -108,7 +131,7 @@ generateProgram(Program &program, KlassId object_k, KlassId node_k,
 }
 
 // ---------------------------------------------------------------------
-// Lock-discipline programs (race-detector cross-check)
+// Shared-state endpoint scaffold
 // ---------------------------------------------------------------------
 
 constexpr int kRaceBoxes = 2;   //!< shared boxes (static slots 0..1)
@@ -127,36 +150,27 @@ enum : uint32_t
     kSlotArr = 4,
 };
 
-/** One generated lock-discipline program plus its ground truth. */
-struct RaceProgram
+/** The shared-state klasses plus the publishing setup method. */
+struct SharedScaffold
 {
     KlassId shared_k = kNoKlass; //!< "RaceShared": boxes and locks
     KlassId arr_k = kNoKlass;    //!< "RaceArr": the published array
     MethodId setup = kNoMethod;  //!< initializes + publishes (parent)
-    MethodId worker[2] = {kNoMethod, kNoMethod};
-    int lock_of[kRaceScopes] = {};   //!< designated lock (0 or 1)
-    bool buggy[kRaceScopes] = {};    //!< discipline seeded broken
 };
 
 /**
- * Emit a two-worker lock-discipline program. The setup method
- * allocates two boxes, two lock objects, and an int array, fully
- * initializes them through local receivers, and only then publishes
- * them to static slots (so a driver that runs setup before forking
- * the workers gets fork-ordered initialization). Each worker mixes
- * shared accesses -- normally under the scope's designated lock, but
- * on @ref RaceProgram::buggy scopes sometimes under the wrong lock
- * or none at all -- with thread-local field traffic and pure
- * compute. Workers never publish objects they allocate and only
- * store ints into shared state, so the classic Eraser
- * initialization-escape false negative cannot occur: every
- * dynamically possible race is on a scope whose broken discipline is
- * visible statically.
+ * Build the shared-state scaffold every endpoint-root generator
+ * starts from: a klass with two box statics, two lock statics and
+ * one array static, plus a setup method that allocates two boxes,
+ * two lock objects and an int array, fully initializes them through
+ * local receivers, and only then publishes them to the static slots
+ * (so a driver that runs setup before forking workers gets
+ * fork-ordered initialization).
  */
-inline RaceProgram
-generateRaceProgram(Program &program, uint64_t seed)
+inline SharedScaffold
+makeSharedScaffold(Program &program, const std::string &tag)
 {
-    RaceProgram out;
+    SharedScaffold out;
     Klass shared;
     shared.name = "RaceShared";
     shared.fields = {"a", "b", "c"};
@@ -169,28 +183,63 @@ generateRaceProgram(Program &program, uint64_t seed)
         program.hintStatic(out.shared_k, slot, out.shared_k);
     program.hintStatic(out.shared_k, kSlotArr, out.arr_k);
 
+    CodeBuilder b(program, out.shared_k, "scaffold_setup_" + tag, 0);
+    b.locals(1);
+    for (uint32_t slot = kSlotBox0; slot <= kSlotLock1; ++slot) {
+        b.newObj(out.shared_k).store(0);
+        for (int f = 0; f < kRaceFields; ++f)
+            b.load(0).pushI(f).putField(f);
+        b.load(0).putStatic(out.shared_k, slot);
+    }
+    b.pushI(kRaceArrLen).newArr(out.arr_k).store(0);
+    for (int i = 0; i < kRaceArrLen; ++i)
+        b.load(0).pushI(i).pushI(0).astore();
+    b.load(0).putStatic(out.shared_k, kSlotArr);
+    b.pushNil().ret();
+    out.setup = b.build();
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Lock-discipline programs (race-detector cross-check)
+// ---------------------------------------------------------------------
+
+/** One generated lock-discipline program plus its ground truth. */
+struct RaceProgram
+{
+    KlassId shared_k = kNoKlass; //!< "RaceShared": boxes and locks
+    KlassId arr_k = kNoKlass;    //!< "RaceArr": the published array
+    MethodId setup = kNoMethod;  //!< initializes + publishes (parent)
+    MethodId worker[2] = {kNoMethod, kNoMethod};
+    int lock_of[kRaceScopes] = {};   //!< designated lock (0 or 1)
+    bool buggy[kRaceScopes] = {};    //!< discipline seeded broken
+};
+
+/**
+ * Emit a two-worker lock-discipline program over the shared
+ * scaffold. Each worker mixes shared accesses -- normally under the
+ * scope's designated lock, but on @ref RaceProgram::buggy scopes
+ * sometimes under the wrong lock or none at all -- with
+ * thread-local field traffic and pure compute. Workers never
+ * publish objects they allocate and only store ints into shared
+ * state, so the classic Eraser initialization-escape false negative
+ * cannot occur: every dynamically possible race is on a scope whose
+ * broken discipline is visible statically.
+ */
+inline RaceProgram
+generateRaceProgram(Program &program, uint64_t seed)
+{
+    RaceProgram out;
+    SharedScaffold scaffold =
+        makeSharedScaffold(program, std::to_string(seed));
+    out.shared_k = scaffold.shared_k;
+    out.arr_k = scaffold.arr_k;
+    out.setup = scaffold.setup;
+
     Rng base(seed);
     for (int s = 0; s < kRaceScopes; ++s) {
         out.lock_of[s] = static_cast<int>(base.uniformInt(0, 1));
         out.buggy[s] = base.chance(0.3);
-    }
-
-    {
-        CodeBuilder b(program, out.shared_k,
-                      "race_setup_" + std::to_string(seed), 0);
-        b.locals(1);
-        for (uint32_t slot = kSlotBox0; slot <= kSlotLock1; ++slot) {
-            b.newObj(out.shared_k).store(0);
-            for (int f = 0; f < kRaceFields; ++f)
-                b.load(0).pushI(f).putField(f);
-            b.load(0).putStatic(out.shared_k, slot);
-        }
-        b.pushI(kRaceArrLen).newArr(out.arr_k).store(0);
-        for (int i = 0; i < kRaceArrLen; ++i)
-            b.load(0).pushI(i).pushI(0).astore();
-        b.load(0).putStatic(out.shared_k, kSlotArr);
-        b.pushNil().ret();
-        out.setup = b.build();
     }
 
     for (int w = 0; w < 2; ++w) {
@@ -267,6 +316,174 @@ generateRaceProgram(Program &program, uint64_t seed)
         }
         b.load(0).ret();
         out.worker[w] = b.build();
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Endpoint-root programs (manifest-superset cross-check)
+// ---------------------------------------------------------------------
+
+/**
+ * One generated endpoint program: shared scaffold, a graph-setup
+ * method hanging node chains off the published boxes and refs into
+ * the published array, and a handler that mixes thread-local op
+ * churn with reads of the shared state. The handler is the
+ * endpoint root the reachability analysis infers a manifest for;
+ * graph_setup models the server-side ORM state the manifest must
+ * cover.
+ */
+struct ManifestProgram
+{
+    KlassId shared_k = kNoKlass;
+    KlassId arr_k = kNoKlass;
+    KlassId object_k = kNoKlass; //!< "MObject": array-churn klass
+    KlassId node_k = kNoKlass;   //!< "MNode": {next, payload}
+    MethodId setup = kNoMethod;      //!< scaffold publication
+    MethodId graph_setup = kNoMethod; //!< hangs graphs off statics
+    MethodId handler = kNoMethod;    //!< the endpoint root
+    /** arr[0 .. ref_elems) hold node refs; the rest stay ints. */
+    int ref_elems = 0;
+};
+
+/** Emit a seeded endpoint-root program (see ManifestProgram). */
+inline ManifestProgram
+generateManifestProgram(Program &program, uint64_t seed)
+{
+    ManifestProgram out;
+    SharedScaffold scaffold =
+        makeSharedScaffold(program, "m" + std::to_string(seed));
+    out.shared_k = scaffold.shared_k;
+    out.arr_k = scaffold.arr_k;
+    out.setup = scaffold.setup;
+    Klass obj;
+    obj.name = "MObject";
+    out.object_k = program.addKlass(obj);
+    Klass node;
+    node.name = "MNode";
+    node.fields = {"next", "payload"};
+    out.node_k = program.addKlass(node);
+
+    Rng g(seed ^ 0x9e3779b97f4a7c15ull);
+    out.ref_elems =
+        static_cast<int>(g.uniformInt(1, kRaceArrLen / 2));
+
+    { // graph_setup: box.c = node chain; arr[0..ref_elems) = nodes
+        CodeBuilder b(program, out.shared_k,
+                      "manifest_graph_setup_" +
+                          std::to_string(seed),
+                      0);
+        b.locals(2); // 0: chain head, 1: fresh node
+        for (uint32_t slot = kSlotBox0; slot <= kSlotBox1; ++slot) {
+            int64_t len = g.uniformInt(1, 5);
+            b.newObj(out.node_k).store(0);
+            b.load(0).pushI(g.uniformInt(0, 9)).putField(1);
+            for (int64_t i = 1; i < len; ++i) { // prepend
+                b.newObj(out.node_k).store(1);
+                b.load(1).pushI(g.uniformInt(0, 9)).putField(1);
+                b.load(1).load(0).putField(0);
+                b.load(1).store(0);
+            }
+            b.getStatic(out.shared_k, slot).load(0).putField(2);
+        }
+        for (int i = 0; i < out.ref_elems; ++i) {
+            b.newObj(out.node_k).store(0);
+            b.load(0).pushI(g.uniformInt(0, 9)).putField(1);
+            b.getStatic(out.shared_k, kSlotArr)
+                .pushI(i)
+                .load(0)
+                .astore();
+        }
+        b.pushNil().ret();
+        out.graph_setup = b.build();
+    }
+
+    { // handler: local churn interleaved with shared reads
+        Rng rng(seed * 2654435761ull + 1);
+        CodeBuilder b(program, out.shared_k,
+                      "manifest_handler_" + std::to_string(seed),
+                      1);
+        const int temp = kIntSlots + kRefSlots; // nullable scratch
+        b.locals(kIntSlots + kRefSlots + 1);
+        for (int i = 0; i < kIntSlots; ++i)
+            b.pushI(rng.uniformInt(-50, 50)).store(i);
+        for (int i = 0; i < kRefSlots; ++i) {
+            b.newObj(out.node_k).store(kIntSlots + i);
+            b.load(kIntSlots + i)
+                .pushI(rng.uniformInt(0, 9))
+                .putField(1);
+        }
+
+        auto adopt_temp_if_ref = [&] {
+            // temp holds a maybe-nil value; adopt into a ref slot
+            // only when non-nil (ref slots must stay dereferencable
+            // for emitLocalGraphOps).
+            auto skip = b.newLabel();
+            b.load(temp).logNot().jnz(skip);
+            b.load(temp).store(kIntSlots +
+                               rng.uniformInt(0, kRefSlots - 1));
+            b.bind(skip);
+        };
+        const int rounds = 6;
+        for (int round = 0; round < rounds; ++round) {
+            emitLocalGraphOps(b, rng, out.object_k, out.node_k, 15);
+            switch (rng.uniformInt(0, 3)) {
+              case 0: { // int field of a published box
+                uint32_t box = kSlotBox0 + static_cast<uint32_t>(
+                                               rng.uniformInt(0, 1));
+                int f = static_cast<int>(rng.uniformInt(0, 1));
+                b.getStatic(out.shared_k, box)
+                    .getField(f)
+                    .load(rng.uniformInt(0, kIntSlots - 1))
+                    .add()
+                    .pushI(100003)
+                    .mod()
+                    .store(rng.uniformInt(0, kIntSlots - 1));
+                break;
+              }
+              case 1: { // adopt a published chain head
+                uint32_t box = kSlotBox0 + static_cast<uint32_t>(
+                                               rng.uniformInt(0, 1));
+                b.getStatic(out.shared_k, box)
+                    .getField(2)
+                    .store(temp);
+                adopt_temp_if_ref();
+                break;
+              }
+              case 2: { // adopt a published array node
+                int64_t idx = rng.uniformInt(0, out.ref_elems - 1);
+                b.getStatic(out.shared_k, kSlotArr)
+                    .pushI(idx)
+                    .aload()
+                    .store(temp);
+                adopt_temp_if_ref();
+                break;
+              }
+              default: { // int element of the published array
+                int64_t idx =
+                    out.ref_elems +
+                    rng.uniformInt(0,
+                                   kRaceArrLen - out.ref_elems - 1);
+                b.getStatic(out.shared_k, kSlotArr)
+                    .pushI(idx)
+                    .aload()
+                    .load(rng.uniformInt(0, kIntSlots - 1))
+                    .add()
+                    .pushI(100003)
+                    .mod()
+                    .store(rng.uniformInt(0, kIntSlots - 1));
+                break;
+              }
+            }
+        }
+
+        b.pushI(0);
+        for (int i = 0; i < kIntSlots; ++i)
+            b.load(i).add();
+        for (int i = 0; i < kRefSlots; ++i)
+            b.load(kIntSlots + i).getField(1).add();
+        b.ret();
+        out.handler = b.build();
     }
     return out;
 }

@@ -246,6 +246,99 @@ TEST(SnapshotStoreTest, MinBootsGateHoldsRestoresBack)
     EXPECT_TRUE(store.hasImage(1));
 }
 
+TEST(SnapshotStoreTest, SyntheticManifestServesImmediately)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    // min_boots = 2: a recorded image would be held back...
+    SnapshotStore store(program, heap, 1 << 20, 2);
+
+    const vm::MethodId root = 1;
+    vm::Ref a = heap.allocPlain(node_k);
+    store.synthesizeManifest(root, {node_k}, {a}, 0);
+
+    // ...but a synthetic manifest serves restores with ZERO boots
+    // folded: that is the whole point of static inference.
+    EXPECT_TRUE(store.hasImage(root));
+    EXPECT_TRUE(store.isSynthetic(root));
+    EXPECT_EQ(store.manifestsSynthesized(), 1u);
+    RestorePlan plan = store.planRestore(root, 0);
+    ASSERT_EQ(plan.klasses.size(), 1u);
+    EXPECT_EQ(plan.klasses[0], node_k);
+    ASSERT_EQ(plan.objects.size(), 1u);
+    EXPECT_EQ(plan.objects[0], a);
+}
+
+TEST(SnapshotStoreTest, RecordedBootRefinesSyntheticManifest)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    SnapshotStore store(program, heap, 1 << 20, 1);
+
+    const vm::MethodId root = 1;
+    vm::Ref a = heap.allocPlain(node_k);
+    vm::Ref b = heap.allocPlain(node_k);
+    store.synthesizeManifest(root, {node_k, object_k}, {a, b}, 0);
+    const uint64_t synthetic_bytes = store.totalBytes();
+
+    // A recorded boot confirms node_k and a; object_k and b are
+    // static over-approximation and must be refined away.
+    store.recordClassFault(root, node_k);
+    store.recordObjectFault(root, a, 0);
+    store.endRecordedBoot(root);
+
+    EXPECT_FALSE(store.isSynthetic(root));
+    EXPECT_EQ(store.refinedDropped(), 2u);
+    EXPECT_LT(store.totalBytes(), synthetic_bytes);
+    RestorePlan plan = store.planRestore(root, 0);
+    ASSERT_EQ(plan.klasses.size(), 1u);
+    EXPECT_EQ(plan.klasses[0], node_k);
+    ASSERT_EQ(plan.objects.size(), 1u);
+    EXPECT_EQ(plan.objects[0], a);
+}
+
+TEST(SnapshotStoreTest, FaultFreeBootKeepsSyntheticManifestWhole)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    SnapshotStore store(program, heap, 1 << 20, 1);
+
+    const vm::MethodId root = 1;
+    store.synthesizeManifest(root, {node_k, object_k}, {}, 0);
+    // A boot that faulted on NOTHING carries no refinement signal
+    // (the prefetch itself is why it saw no faults); the manifest
+    // must survive untouched.
+    store.endRecordedBoot(root);
+    EXPECT_EQ(store.refinedDropped(), 0u);
+    EXPECT_EQ(store.planRestore(root, 0).klasses.size(), 2u);
+}
+
+TEST(SnapshotStoreTest, ReRecordingAfterEvictionIsCounted)
+{
+    vm::KlassId object_k, node_k;
+    vm::Program program = makeProgram(object_k, node_k);
+    vm::Heap heap(program, 1 << 16, 1 << 16);
+    // Budget fits one klass recording (default code_bytes = 1024).
+    SnapshotStore store(program, heap, 1500, 1);
+
+    store.recordClassFault(1, node_k);
+    store.endRecordedBoot(1);
+    store.recordClassFault(2, object_k);
+    store.endRecordedBoot(2); // evicts root 1
+    ASSERT_FALSE(store.hasImage(1));
+    EXPECT_EQ(store.reRecords(), 0u);
+
+    // Root 1 comes back: its next cold boot re-records from
+    // scratch -- churn the harness report surfaces.
+    store.recordClassFault(1, node_k);
+    store.endRecordedBoot(1);
+    EXPECT_EQ(store.reRecords(), 1u);
+    EXPECT_TRUE(store.hasImage(1));
+}
+
 TEST(SnapshotStoreTest, BaseLayerSharesAcrossEndpoints)
 {
     vm::KlassId object_k, node_k;
@@ -509,6 +602,43 @@ TEST(SnapshotIntegrationTest, DisabledKnobNeverTakesRestorePath)
         EXPECT_EQ(t.prefetched_objects, 0u);
         EXPECT_EQ(t.stale_prefetches, 0u);
     }
+}
+
+TEST(SnapshotIntegrationTest, StaticManifestFirstBootTakesRestorePath)
+{
+    harness::TestbedOptions opts;
+    opts.app = harness::AppKind::Thumbnail;
+    opts.seed = 7;
+    opts.beehive.snapshot_enabled = false; // nothing was recorded...
+    opts.beehive.static_manifests = true;  // ...only inferred
+    opts.faas_keep_alive = SimTime::sec(2);
+    harness::Testbed bed(opts);
+    ASSERT_TRUE(bed.runProfilingPhase());
+
+    // The knob alone constructs the store, and enableRoot filled it
+    // with synthetic manifests before any FaaS instance existed.
+    auto *snaps = bed.server().snapshots();
+    ASSERT_NE(snaps, nullptr);
+    EXPECT_GE(snaps->manifestsSynthesized(), 1u);
+
+    SimTime t0 = bed.sim().now();
+    bed.manager()->setOffloadRatio(1.0);
+    workload::Recorder recorder;
+    workload::ClosedLoopClients clients(bed.sim(), bed.sink(),
+                                        recorder);
+    clients.startWindow(2, t0, t0 + SimTime::sec(4));
+    bed.sim().runUntil(t0 + SimTime::sec(6));
+    EXPECT_GT(recorder.completed(), 0u);
+
+    // The tentpole claim: the FIRST boot of every fresh acquisition
+    // takes the restore path off the synthetic manifest -- no
+    // recorded cold boot (and no fault storm) ever happens.
+    EXPECT_GT(bed.platform()->restoreBoots(), 0u);
+    EXPECT_EQ(bed.platform()->coldBoots(), 0u);
+    uint64_t prefetched = 0;
+    for (const auto &[root, t] : bed.manager()->traces())
+        prefetched += t.prefetched_klasses + t.prefetched_objects;
+    EXPECT_GT(prefetched, 0u);
 }
 
 } // namespace
