@@ -19,7 +19,11 @@ namespace beehive::bench {
 /**
  * Common CLI: --seed N, --quick (shorter runs for smoke tests),
  * --app NAME (restrict to one app), --native-scale N (override the
- * framework's native loop scale; smaller = faster simulation).
+ * framework's native loop scale; smaller = faster simulation),
+ * --threads N (fan independent trials across N OS threads; 0 = one
+ * per hardware thread) and --serial (same as --threads 1). Trials
+ * are deterministic in isolation and merged by index, so thread
+ * count never changes the printed output (see harness/parallel.h).
  */
 struct BenchArgs
 {
@@ -27,6 +31,7 @@ struct BenchArgs
     bool quick = false;
     int native_scale = 0; //!< 0 = bench default
     std::string app;      //!< empty = all apps
+    unsigned threads = 0; //!< trial-runner threads; 0 = hardware
 };
 
 inline BenchArgs
@@ -44,6 +49,12 @@ parseArgs(int argc, char **argv)
                 static_cast<int>(std::strtol(argv[++i], nullptr, 10));
         else if (std::strcmp(argv[i], "--app") == 0 && i + 1 < argc)
             args.app = argv[++i];
+        else if (std::strcmp(argv[i], "--threads") == 0 &&
+                 i + 1 < argc)
+            args.threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "--serial") == 0)
+            args.threads = 1;
     }
     return args;
 }

@@ -14,9 +14,12 @@
 #include <cmath>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "harness/burst.h"
+#include "harness/parallel.h"
 #include "harness/report.h"
 
 using namespace beehive;
@@ -41,30 +44,62 @@ main(int argc, char **argv)
     std::map<AppKind, std::map<Solution, BurstResult>> snap_results;
     std::map<AppKind, std::map<Solution, BurstResult>> static_results;
 
+    // Every (app, solution, variant) cell is an independent trial
+    // with its own Testbed; fan the grid across threads and scatter
+    // the results back by index (see harness/parallel.h for why
+    // this cannot change the output).
+    enum Variant { Cold, Warm, Snapshot, Static };
+    struct Trial
+    {
+        AppKind app;
+        Solution sol;
+        Variant variant;
+    };
+    std::vector<Trial> trials;
     for (AppKind app : apps) {
         for (Solution sol : solutions) {
+            trials.push_back({app, sol, Cold});
+            if (sol == Solution::BeeHiveO ||
+                sol == Solution::BeeHiveL) {
+                trials.push_back({app, sol, Warm});
+                trials.push_back({app, sol, Snapshot});
+                trials.push_back({app, sol, Static});
+            }
+        }
+    }
+
+    std::vector<BurstResult> trial_results = runTrials(
+        trials.size(),
+        [&](std::size_t i) {
+            const Trial &t = trials[i];
             BurstOptions opts;
-            opts.app = app;
-            opts.solution = sol;
+            opts.app = t.app;
+            opts.solution = t.sol;
             opts.seed = args.seed;
             opts.framework = benchFramework(args);
             if (args.quick) {
                 opts.duration = SimTime::sec(90);
                 opts.burst_at = SimTime::sec(30);
             }
-            results[app][sol] = runBurstExperiment(opts);
-            if (sol == Solution::BeeHiveO ||
-                sol == Solution::BeeHiveL) {
-                opts.warm_faas = true;
-                warm_results[app][sol] = runBurstExperiment(opts);
-                opts.warm_faas = false;
-                opts.snapshot_faas = true;
-                snap_results[app][sol] = runBurstExperiment(opts);
-                opts.snapshot_faas = false;
-                opts.static_faas = true;
-                static_results[app][sol] = runBurstExperiment(opts);
-                opts.static_faas = false;
-            }
+            opts.warm_faas = t.variant == Warm;
+            opts.snapshot_faas = t.variant == Snapshot;
+            opts.static_faas = t.variant == Static;
+            return runBurstExperiment(opts);
+        },
+        args.threads);
+
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+        const Trial &t = trials[i];
+        BurstResult &r = trial_results[i];
+        switch (t.variant) {
+          case Cold: results[t.app][t.sol] = std::move(r); break;
+          case Warm: warm_results[t.app][t.sol] = std::move(r); break;
+          case Snapshot:
+            snap_results[t.app][t.sol] = std::move(r);
+            break;
+          case Static:
+            static_results[t.app][t.sol] = std::move(r);
+            break;
         }
     }
 

@@ -10,7 +10,12 @@
  * saturated throughput ~9.4x the always-on baseline).
  */
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
+#include "harness/parallel.h"
 #include "harness/report.h"
 #include "harness/throughput.h"
 
@@ -24,6 +29,18 @@ main(int argc, char **argv)
 {
     BenchArgs args = parseArgs(argc, argv);
 
+    // Phase 1: enumerate every (app, config, rate) point. Each is
+    // an independent simulation, so the whole grid fans across the
+    // trial runner; sweeps are reassembled by index afterwards and
+    // printed in the original order (see harness/parallel.h).
+    struct Sweep
+    {
+        AppKind app;
+        ThroughputOptions opts; //!< config already set
+        std::vector<double> rates;
+        std::vector<ThroughputPoint> points;
+    };
+    std::vector<Sweep> sweeps;
     for (AppKind app : kAllApps) {
         double sat = saturationRps(app);
         std::vector<double> local_rates, offload_rates;
@@ -50,37 +67,68 @@ main(int argc, char **argv)
         opts.beehive.function_closure_bytes = 3u << 20;
         opts.beehive.function_alloc_bytes = 3u << 20;
 
+        const ThroughputConfig configs[] = {
+            ThroughputConfig::Vanilla,
+            ThroughputConfig::BeeHiveSingle,
+            ThroughputConfig::BeeHiveO,
+            ThroughputConfig::BeeHiveL,
+        };
+        for (ThroughputConfig config : configs) {
+            Sweep sweep;
+            sweep.app = app;
+            sweep.opts = opts;
+            sweep.opts.config = config;
+            sweep.rates = config == ThroughputConfig::Vanilla ||
+                                  config ==
+                                      ThroughputConfig::BeeHiveSingle
+                              ? local_rates
+                              : offload_rates;
+            sweeps.push_back(std::move(sweep));
+        }
+    }
+
+    struct PointTrial
+    {
+        std::size_t sweep;
+        double rate;
+    };
+    std::vector<PointTrial> trials;
+    for (std::size_t s = 0; s < sweeps.size(); ++s) {
+        for (double rate : sweeps[s].rates)
+            trials.push_back({s, rate});
+    }
+
+    std::vector<ThroughputPoint> flat = runTrials(
+        trials.size(),
+        [&](std::size_t i) {
+            return runThroughputPoint(sweeps[trials[i].sweep].opts,
+                                      trials[i].rate);
+        },
+        args.threads);
+    for (std::size_t i = 0; i < trials.size(); ++i)
+        sweeps[trials[i].sweep].points.push_back(flat[i]);
+
+    // Phase 2: print exactly what the serial loop printed.
+    for (std::size_t s = 0; s < sweeps.size();) {
+        AppKind app = sweeps[s].app;
         printSeriesHeader(std::string("Figure 8: ") + appName(app),
                           "rps", "latency_s");
-        struct Sweep
-        {
-            ThroughputConfig config;
-            const std::vector<double> &rates;
-        };
-        const Sweep sweeps[] = {
-            {ThroughputConfig::Vanilla, local_rates},
-            {ThroughputConfig::BeeHiveSingle, local_rates},
-            {ThroughputConfig::BeeHiveO, offload_rates},
-            {ThroughputConfig::BeeHiveL, offload_rates},
-        };
         std::vector<std::vector<std::string>> rows;
-        for (const Sweep &sweep : sweeps) {
-            opts.config = sweep.config;
-            auto points = runThroughputSweep(opts, sweep.rates);
-            std::vector<double> xs, mean_s, p99_s;
-            for (const auto &p : points) {
+        for (; s < sweeps.size() && sweeps[s].app == app; ++s) {
+            const Sweep &sweep = sweeps[s];
+            const char *config_name =
+                throughputConfigName(sweep.opts.config);
+            std::vector<double> xs, mean_s;
+            for (const auto &p : sweep.points) {
                 xs.push_back(p.achieved_rps);
                 mean_s.push_back(p.mean_latency);
-                p99_s.push_back(p.p99_latency);
-                rows.push_back({appName(app),
-                                throughputConfigName(sweep.config),
+                rows.push_back({appName(app), config_name,
                                 fmt(p.offered_rps, 0),
                                 fmt(p.achieved_rps, 1),
                                 fmt(p.mean_latency * 1e3, 1),
                                 fmt(p.p99_latency * 1e3, 1)});
             }
-            printSeries(throughputConfigName(sweep.config), xs,
-                        mean_s);
+            printSeries(config_name, xs, mean_s);
         }
         printTable(std::string("Figure 8 points: ") + appName(app),
                    {"app", "config", "offered", "achieved",

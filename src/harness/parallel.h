@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parallel trial runner for the experiment binaries.
+ *
+ * An experiment like Figure 7 is a grid of completely independent
+ * trials: each builds its own Testbed (Program, Simulation, Rng and
+ * all), runs it, and returns a plain result struct. Nothing in the
+ * simulator is shared across trials, so fanning the grid across OS
+ * threads is safe and -- crucially -- cannot change a single byte of
+ * output: each trial's determinism comes from its own seeded
+ * simulation, and the caller consumes results by index, never by
+ * completion order.
+ */
+
+#ifndef BEEHIVE_HARNESS_PARALLEL_H
+#define BEEHIVE_HARNESS_PARALLEL_H
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace beehive::harness {
+
+/**
+ * Resolve a --threads request: 0 = one per hardware thread (capped
+ * by the job count), otherwise the requested count.
+ */
+inline unsigned
+resolveTrialThreads(unsigned requested, std::size_t jobs)
+{
+    unsigned n = requested;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    if (jobs < n)
+        n = static_cast<unsigned>(jobs);
+    return n == 0 ? 1 : n;
+}
+
+/**
+ * Run @p count independent trials of @p trial(index) and return the
+ * results ordered by index.
+ *
+ * @p threads: 0 = one worker per hardware thread, 1 = run serially
+ * on the calling thread (no threads spawned), N = exactly N workers.
+ * Workers pull indices from a shared atomic counter; the first
+ * exception any trial throws is rethrown on the caller once all
+ * workers have drained.
+ */
+template <typename Trial>
+auto
+runTrials(std::size_t count, Trial &&trial, unsigned threads = 0)
+    -> std::vector<decltype(trial(std::size_t{0}))>
+{
+    using Result = decltype(trial(std::size_t{0}));
+    std::vector<Result> results(count);
+    const unsigned nthreads = resolveTrialThreads(threads, count);
+
+    if (nthreads <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            results[i] = trial(i);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            try {
+                results[i] = trial(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+} // namespace beehive::harness
+
+#endif // BEEHIVE_HARNESS_PARALLEL_H

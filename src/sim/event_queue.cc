@@ -1,66 +1,103 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "support/logging.h"
 
 namespace beehive::sim {
 
+uint32_t
+EventQueue::acquireSlot()
+{
+    if (free_head_ != kNoSlot) {
+        uint32_t idx = free_head_;
+        free_head_ = slots_[idx].next_free;
+        slots_[idx].next_free = kNoSlot;
+        return idx;
+    }
+    bh_assert(slots_.size() < kNoSlot, "event slot pool exhausted");
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void
+EventQueue::releaseSlot(uint32_t idx)
+{
+    Slot &s = slots_[idx];
+    s.cb.reset();
+    s.pending = false;
+    ++s.generation;
+    s.next_free = free_head_;
+    free_head_ = idx;
+}
+
 EventId
 EventQueue::schedule(SimTime when, Callback cb)
 {
-    EventId id = next_id_++;
-    heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
-    return id;
+    uint32_t idx = acquireSlot();
+    Slot &s = slots_[idx];
+    s.cb = std::move(cb);
+    s.pending = true;
+    heap_.push_back(HeapEntry{when, next_seq_++, idx, s.generation});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    ++pending_;
+    return makeId(idx, s.generation);
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= next_id_)
+    uint64_t hi = id >> 32;
+    if (hi == 0 || hi > slots_.size())
         return false;
-    // Lazy deletion: remember the id and drop the entry when popped.
-    return cancelled_.insert(id).second;
+    uint32_t idx = static_cast<uint32_t>(hi - 1);
+    Slot &s = slots_[idx];
+    if (!s.pending || s.generation != static_cast<uint32_t>(id))
+        return false;
+    // The heap record becomes stale (generation mismatch) and is
+    // dropped whenever it surfaces at the top; the slot itself is
+    // reusable immediately.
+    releaseSlot(idx);
+    --pending_;
+    return true;
 }
 
 void
-EventQueue::skipCancelled()
+EventQueue::skipStale() const
 {
-    while (!heap_.empty()) {
-        auto it = cancelled_.find(heap_.top().id);
-        if (it == cancelled_.end())
-            return;
-        cancelled_.erase(it);
-        heap_.pop();
+    while (!heap_.empty() && stale(heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        heap_.pop_back();
     }
-}
-
-bool
-EventQueue::empty() const
-{
-    const_cast<EventQueue *>(this)->skipCancelled();
-    return heap_.empty();
 }
 
 SimTime
 EventQueue::nextTime() const
 {
-    const_cast<EventQueue *>(this)->skipCancelled();
-    if (heap_.empty())
+    if (pending_ == 0)
         return SimTime::max();
-    return heap_.top().when;
+    skipStale();
+    return heap_.front().when;
 }
 
 SimTime
 EventQueue::runOne()
 {
-    skipCancelled();
-    bh_assert(!heap_.empty(), "runOne on empty event queue");
-    // Move the callback out before popping so that the callback may
-    // itself schedule new events without invalidating the entry.
-    Entry entry = heap_.top();
-    heap_.pop();
+    bh_assert(pending_ > 0, "runOne on empty event queue");
+    skipStale();
+    HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+    // Move the callback out and release the slot before invoking, so
+    // the callback may schedule new events (possibly reusing this
+    // very slot) without invalidating anything.
+    Callback cb = std::move(slots_[top.slot].cb);
+    releaseSlot(top.slot);
+    --pending_;
     ++dispatched_;
-    entry.cb();
-    return entry.when;
+    cb();
+    return top.when;
 }
 
 } // namespace beehive::sim

@@ -5,29 +5,39 @@
  * Events are closures scheduled at absolute simulated times. Ties are
  * broken by insertion order so execution is deterministic. Events may
  * be cancelled through the EventId returned at scheduling time.
+ *
+ * Internals (hot path, see DESIGN.md section 14): callbacks live in a
+ * slab of pooled slots (SmallFn keeps captures inline, so the common
+ * schedule/fire cycle allocates nothing once the pool is warm), and
+ * the time-ordered index is a binary heap of light {when, seq, slot,
+ * generation} records. cancel() releases the slot immediately -- O(1),
+ * no per-pop hash-set probe -- and the slot's bumped generation makes
+ * the abandoned heap record stale; stale records are skipped when
+ * they surface at the top.
  */
 
 #ifndef BEEHIVE_SIM_EVENT_QUEUE_H
 #define BEEHIVE_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/sim_time.h"
+#include "sim/small_fn.h"
 
 namespace beehive::sim {
 
-/** Opaque handle identifying a scheduled event. */
+/**
+ * Opaque handle identifying a scheduled event. Encodes {slot,
+ * generation}; never 0, so 0 is usable as a "no event" sentinel.
+ */
 using EventId = uint64_t;
 
 /** Time-ordered queue of pending simulation events. */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFn;
 
     /**
      * Schedule @p cb to run at absolute time @p when.
@@ -40,14 +50,14 @@ class EventQueue
      * Cancel a previously scheduled event.
      *
      * Cancelling an already-fired or already-cancelled event is a
-     * harmless no-op.
+     * harmless no-op (returns false).
      *
      * @retval true if the event was pending and is now cancelled.
      */
     bool cancel(EventId id);
 
     /** True if no runnable events remain. */
-    bool empty() const;
+    bool empty() const { return pending_ == 0; }
 
     /** Time of the earliest pending event; max() when empty. */
     SimTime nextTime() const;
@@ -62,16 +72,37 @@ class EventQueue
     /** Number of events dispatched so far (for stats/tests). */
     uint64_t dispatched() const { return dispatched_; }
 
+    /** Number of currently pending (not fired/cancelled) events. */
+    std::size_t pending() const { return pending_; }
+
   private:
-    struct Entry
+    static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+    /** One pooled callback slot, reused across events. */
+    struct Slot
+    {
+        Callback cb;
+        /**
+         * Bumped every time the slot is released (fired or
+         * cancelled); a heap record or EventId carrying an older
+         * generation is stale. 32 bits wrap after 4 billion reuses
+         * of one slot -- far beyond any simulated run here.
+         */
+        uint32_t generation = 0;
+        uint32_t next_free = kNoSlot;
+        bool pending = false;
+    };
+
+    /** Light heap record; the callback stays in the slab. */
+    struct HeapEntry
     {
         SimTime when;
         uint64_t seq;
-        EventId id;
-        Callback cb;
+        uint32_t slot;
+        uint32_t generation;
 
         bool
-        operator>(const Entry &o) const
+        operator>(const HeapEntry &o) const
         {
             if (when != o.when)
                 return when > o.when;
@@ -79,12 +110,32 @@ class EventQueue
         }
     };
 
-    void skipCancelled();
+    static EventId
+    makeId(uint32_t slot, uint32_t generation)
+    {
+        return (static_cast<EventId>(slot) + 1) << 32 | generation;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::unordered_set<EventId> cancelled_;
+    bool
+    stale(const HeapEntry &e) const
+    {
+        const Slot &s = slots_[e.slot];
+        return !s.pending || s.generation != e.generation;
+    }
+
+    /** Drop stale records sitting on top of the heap. Mutates only
+     * the (mutable) heap index, never observable queue state, so
+     * const accessors may call it. */
+    void skipStale() const;
+
+    uint32_t acquireSlot();
+    void releaseSlot(uint32_t idx);
+
+    mutable std::vector<HeapEntry> heap_;
+    std::vector<Slot> slots_;
+    uint32_t free_head_ = kNoSlot;
+    std::size_t pending_ = 0;
     uint64_t next_seq_ = 0;
-    uint64_t next_id_ = 1;
     uint64_t dispatched_ = 0;
 };
 

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Small-buffer-optimized callback holder for the event queue.
+ *
+ * The simulator schedules millions of short-lived closures; holding
+ * them in a std::function costs one heap allocation per event for
+ * any capture list bigger than the library's tiny internal buffer.
+ * SmallFn stores captures up to kInlineBytes directly inside the
+ * holder (which itself lives inside the event queue's slab pool), so
+ * the common schedule/fire cycle performs no allocation at all.
+ * Larger callables transparently fall back to the heap.
+ *
+ * Move-only on purpose: an event callback has exactly one owner (its
+ * pool slot), and move-only admits non-copyable captures.
+ */
+
+#ifndef BEEHIVE_SIM_SMALL_FN_H
+#define BEEHIVE_SIM_SMALL_FN_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace beehive::sim {
+
+/** Move-only `void()` callable with inline storage. */
+class SmallFn
+{
+  public:
+    /** Captures up to this many bytes are stored inline. */
+    static constexpr std::size_t kInlineBytes = 56;
+
+    SmallFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    SmallFn(F &&fn) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &InlineOps<Fn>::ops;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) =
+                new Fn(std::forward<F>(fn));
+            ops_ = &HeapOps<Fn>::ops;
+        }
+    }
+
+    SmallFn(SmallFn &&o) noexcept : ops_(o.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(buf_, o.buf_);
+            o.ops_ = nullptr;
+        }
+    }
+
+    SmallFn &
+    operator=(SmallFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            ops_ = o.ops_;
+            if (ops_) {
+                ops_->relocate(buf_, o.buf_);
+                o.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    SmallFn(const SmallFn &) = delete;
+    SmallFn &operator=(const SmallFn &) = delete;
+
+    ~SmallFn() { reset(); }
+
+    /** Destroy the held callable (if any); leaves *this empty. */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    void operator()() { ops_->invoke(buf_); }
+
+    /** True when the held callable lives in the inline buffer. */
+    bool
+    storedInline() const noexcept
+    {
+        return ops_ != nullptr && ops_->is_inline;
+    }
+
+  private:
+    /** Per-type manager: virtual dispatch without a vtable pointer
+     * per object (one shared Ops per callable type). */
+    struct Ops
+    {
+        void (*invoke)(void *buf);
+        /** Move-construct into @p dst storage, destroy the source. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *buf) noexcept;
+        bool is_inline;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    struct InlineOps
+    {
+        static Fn *
+        self(void *buf)
+        {
+            return std::launder(reinterpret_cast<Fn *>(buf));
+        }
+        static void invoke(void *buf) { (*self(buf))(); }
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            ::new (dst) Fn(std::move(*self(src)));
+            self(src)->~Fn();
+        }
+        static void destroy(void *buf) noexcept { self(buf)->~Fn(); }
+        static constexpr Ops ops = {&invoke, &relocate, &destroy,
+                                    true};
+    };
+
+    template <typename Fn>
+    struct HeapOps
+    {
+        static Fn *
+        self(void *buf)
+        {
+            return *std::launder(reinterpret_cast<Fn **>(buf));
+        }
+        static void invoke(void *buf) { (*self(buf))(); }
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            // Just move the owning pointer between buffers.
+            *reinterpret_cast<Fn **>(dst) =
+                *std::launder(reinterpret_cast<Fn **>(src));
+        }
+        static void destroy(void *buf) noexcept { delete self(buf); }
+        static constexpr Ops ops = {&invoke, &relocate, &destroy,
+                                    false};
+    };
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace beehive::sim
+
+#endif // BEEHIVE_SIM_SMALL_FN_H

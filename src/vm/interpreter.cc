@@ -117,6 +117,19 @@ Interpreter::checkLoadedValue(Value &slot, Suspend &out)
     return false;
 }
 
+template <typename Writeback>
+bool
+Interpreter::loadBarrier(Value &v, Suspend &out, Writeback &&writeback)
+{
+    if (!ctx_.config().check_remote_refs || !v.isRef() ||
+        !isRemote(v.asRef()))
+        return true;
+    if (!checkLoadedValue(v, out))
+        return false;
+    writeback(v);
+    return true;
+}
+
 bool
 Interpreter::resolveRef(Value &v, Suspend &out)
 {
@@ -124,9 +137,9 @@ Interpreter::resolveRef(Value &v, Suspend &out)
               static_cast<int>(v.kind));
     bh_assert(v.asRef() != kNullRef, "null dereference in %s",
               ctx_.program().method(top().method).name.c_str());
-    if (isRemote(v.asRef()))
-        return checkLoadedValue(v, out);
-    return true;
+    // The stack slot is the value's home, so the rewrite done by
+    // checkLoadedValue() is already the writeback.
+    return loadBarrier(v, out, [](Value &) {});
 }
 
 bool
@@ -459,13 +472,12 @@ Interpreter::step(Suspend &out)
                  static_cast<uint32_t>(in.a)});
         Value v = ctx_.heap().field(obj,
                                     static_cast<uint32_t>(in.a));
-        if (ctx_.config().check_remote_refs && v.isRef() &&
-            isRemote(v.asRef())) {
-            if (!checkLoadedValue(v, out))
-                return StepResult::Suspended;
-            // Reset the bit in the field itself.
-            ctx_.heap().setField(obj, static_cast<uint32_t>(in.a), v);
-        }
+        if (!loadBarrier(v, out, [&](Value &nv) {
+                // Reset the bit in the field itself.
+                ctx_.heap().setField(obj, static_cast<uint32_t>(in.a),
+                                     nv);
+            }))
+            return StepResult::Suspended;
         if (RaceOracle *ro = ctx_.raceOracle())
             ro->fieldAccess(race_tid_, obj,
                             ctx_.heap().header(obj).klass,
@@ -496,12 +508,10 @@ Interpreter::step(Suspend &out)
         Ref arr = peek(1).asRef();
         uint32_t idx = static_cast<uint32_t>(idx_v.asInt());
         Value v = ctx_.heap().elem(arr, idx);
-        if (ctx_.config().check_remote_refs && v.isRef() &&
-            isRemote(v.asRef())) {
-            if (!checkLoadedValue(v, out))
-                return StepResult::Suspended;
-            ctx_.heap().setElem(arr, idx, v);
-        }
+        if (!loadBarrier(v, out, [&](Value &nv) {
+                ctx_.heap().setElem(arr, idx, nv);
+            }))
+            return StepResult::Suspended;
         if (RaceOracle *ro = ctx_.raceOracle())
             ro->elementAccess(race_tid_, arr,
                               ctx_.heap().header(arr).klass, false);
@@ -541,12 +551,10 @@ Interpreter::step(Suspend &out)
             recorded_statics_.insert(
                 {k, static_cast<uint32_t>(in.b)});
         Value v = ctx_.getStatic(k, static_cast<uint32_t>(in.b));
-        if (ctx_.config().check_remote_refs && v.isRef() &&
-            isRemote(v.asRef())) {
-            if (!checkLoadedValue(v, out))
-                return StepResult::Suspended;
-            ctx_.setStatic(k, static_cast<uint32_t>(in.b), v);
-        }
+        if (!loadBarrier(v, out, [&](Value &nv) {
+                ctx_.setStatic(k, static_cast<uint32_t>(in.b), nv);
+            }))
+            return StepResult::Suspended;
         if (RaceOracle *ro = ctx_.raceOracle())
             ro->staticAccess(race_tid_, k,
                              static_cast<uint32_t>(in.b), false);
@@ -587,7 +595,24 @@ Interpreter::step(Suspend &out)
             return StepResult::Suspended;
         Ref recv = peek(nargs - 1).asRef();
         KlassId k = ctx_.heap().header(recv).klass;
-        MethodId id = ctx_.program().resolveVirtual(k, name);
+        // Per-site monomorphic inline cache: the common case (same
+        // receiver klass as last time at this pc) skips even the
+        // frozen-vtable load. The charge below models the original
+        // vtable walk, so the accounting is unchanged either way.
+        VmContext::InlineCache &ic = ctx_.inlineCache(f.method, f.pc);
+        MethodId id;
+        if (ic.klass == k) {
+            id = ic.method;
+            ++stats_.ic_hits;
+            ctx_.countDispatch(true);
+        } else {
+            id = ctx_.program().resolveVirtual(k, name);
+            ic.klass = k;
+            ic.method = id;
+            ++ic.fills;
+            ++stats_.ic_misses;
+            ctx_.countDispatch(false);
+        }
         bh_assert(id != kNoMethod, "no virtual %s on %s",
                   ctx_.program().nameAt(name).c_str(),
                   ctx_.program().klass(k).name.c_str());

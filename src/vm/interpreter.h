@@ -88,6 +88,8 @@ struct InterpStats
     uint64_t native_calls = 0;
     uint64_t monitor_enters = 0;
     uint64_t remote_hits = 0;   //!< remote refs resolved via the map
+    uint64_t ic_hits = 0;       //!< CallVirt inline-cache hits
+    uint64_t ic_misses = 0;     //!< CallVirt cache fills / refills
 };
 
 /** Executes one request at a time against a shared VmContext. */
@@ -226,6 +228,18 @@ class Interpreter
      * on unmapped remote refs; rewrites mapped ones in place.
      */
     bool resolveRef(Value &v, Suspend &out);
+
+    /**
+     * Read barrier for a value just loaded from the heap or statics:
+     * single branch on the fast (local) path, and on the slow path
+     * resolves the remote ref via checkLoadedValue() and persists
+     * the rewritten value through @p writeback (resetting the remote
+     * bit at its home location, paper Section 4.1).
+     *
+     * @retval true when execution may continue.
+     */
+    template <typename Writeback>
+    bool loadBarrier(Value &v, Suspend &out, Writeback &&writeback);
 
     /** Ensure a klass is loaded; otherwise fill @p out and fault. */
     bool requireKlass(KlassId id, Suspend &out);

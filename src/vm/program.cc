@@ -21,6 +21,7 @@ Program::addKlass(Klass klass)
     KlassId id = static_cast<KlassId>(klasses_.size());
     klass_by_name_[klass.name] = id;
     klasses_.push_back(std::move(klass));
+    touch();
     return id;
 }
 
@@ -36,6 +37,7 @@ Program::addMethod(KlassId owner, Method method)
     method_by_qname_[qname] = id;
     klasses_[owner].methods.push_back(id);
     methods_.push_back(std::move(method));
+    touch();
     return id;
 }
 
@@ -60,6 +62,7 @@ Program::internName(const std::string &s)
     NameId id = static_cast<NameId>(names_.size());
     names_.push_back(s);
     name_ids_[s] = id;
+    touch(); // widens every frozen vtable
     return id;
 }
 
@@ -74,6 +77,9 @@ Klass &
 Program::klass(KlassId id)
 {
     bh_assert(id < klasses_.size(), "bad klass id %u", id);
+    // Mutable access may rewire methods/supers behind our back;
+    // conservatively invalidate the frozen tables.
+    touch();
     return klasses_[id];
 }
 
@@ -88,6 +94,7 @@ Method &
 Program::method(MethodId id)
 {
     bh_assert(id < methods_.size(), "bad method id %u", id);
+    touch(); // a renamed method would invalidate the vtables
     return methods_[id];
 }
 
@@ -120,12 +127,12 @@ Program::findMethod(const std::string &qualified) const
 }
 
 MethodId
-Program::resolveVirtual(KlassId klass_id, NameId name) const
+Program::resolveVirtualUncached(KlassId klass_id, NameId name) const
 {
     const std::string &mname = nameAt(name);
     KlassId k = klass_id;
     while (k != kNoKlass) {
-        const Klass &kl = klass(k);
+        const Klass &kl = klasses_[k];
         for (MethodId mid : kl.methods) {
             if (methods_[mid].name == mname)
                 return mid;
@@ -135,14 +142,62 @@ Program::resolveVirtual(KlassId klass_id, NameId name) const
     return kNoMethod;
 }
 
+void
+Program::freeze() const
+{
+    const std::size_t nnames = names_.size();
+    vtable_stride_ = nnames;
+    vtable_flat_.assign(klasses_.size() * nnames, kNoMethod);
+    field_counts_.assign(klasses_.size(), 0);
+    std::vector<char> built(klasses_.size(), 0);
+    std::vector<KlassId> chain;
+    for (KlassId root = 0; root < klasses_.size(); ++root) {
+        if (built[root])
+            continue;
+        // Collect the unbuilt tail of the super chain, then build
+        // top-down so each row starts from its super's.
+        chain.clear();
+        for (KlassId k = root; k != kNoKlass && !built[k];
+             k = klasses_[k].super)
+            chain.push_back(k);
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            const KlassId id = *it;
+            const Klass &kl = klasses_[id];
+            MethodId *vt = vtable_flat_.data() + id * nnames;
+            if (kl.super != kNoKlass) {
+                const MethodId *sup =
+                    vtable_flat_.data() + kl.super * nnames;
+                std::copy(sup, sup + nnames, vt); // inherit
+                field_counts_[id] = field_counts_[kl.super];
+            }
+            field_counts_[id] +=
+                static_cast<uint32_t>(kl.fields.size());
+            // Method names within one klass are unique (addMethod
+            // asserts the qualified name), so overriding the
+            // inherited entry reproduces the walk's first-match
+            // semantics exactly.
+            for (MethodId mid : kl.methods) {
+                auto nit = name_ids_.find(methods_[mid].name);
+                if (nit != name_ids_.end())
+                    vt[nit->second] = mid;
+            }
+            built[id] = 1;
+        }
+    }
+    frozen_epoch_ = mutation_epoch_;
+}
+
 uint32_t
 Program::fieldCount(KlassId id) const
 {
+    bh_assert(id < klasses_.size(), "bad klass id %u", id);
+    if (frozen())
+        return field_counts_[id];
     uint32_t count = 0;
     KlassId k = id;
     while (k != kNoKlass) {
-        count += static_cast<uint32_t>(klass(k).fields.size());
-        k = klass(k).super;
+        count += static_cast<uint32_t>(klasses_[k].fields.size());
+        k = klasses_[k].super;
     }
     return count;
 }

@@ -14,10 +14,11 @@
 #define BEEHIVE_VM_PROGRAM_H
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "support/logging.h"
 #include "vm/value.h"
 
 namespace beehive::vm {
@@ -176,10 +177,33 @@ class Program
     MethodId findMethod(const std::string &qualified) const;
 
     /**
-     * Resolve a virtual call: look for @p name on @p klass, walking
-     * up the super chain.
+     * Resolve a virtual call: look for @p name on @p klass,
+     * semantically walking up the super chain. O(1): reads the
+     * frozen per-klass vtable, (re)built lazily whenever the program
+     * was mutated since the last freeze. Must agree with
+     * resolveVirtualUncached() everywhere (tested as an oracle).
+     * Defined inline below: this is the interpreter's hottest
+     * lookup and must compile down to one indexed load.
      */
     MethodId resolveVirtual(KlassId klass, NameId name) const;
+
+    /**
+     * Reference resolver: the original string-comparing superclass
+     * walk. Kept as the oracle for the frozen vtables (tests,
+     * perf_hotpath's before/after microbench); not for hot paths.
+     */
+    MethodId resolveVirtualUncached(KlassId klass, NameId name) const;
+
+    /**
+     * Build the frozen dispatch tables now: per-klass flat
+     * NameId -> MethodId vtables plus cached transitive field
+     * counts. Idempotent; called lazily by resolveVirtual().
+     * Programs are single-threaded (each trial/endpoint owns its
+     * own), so the mutable rebuild needs no locking.
+     */
+    void freeze() const;
+    /** True when the frozen tables match the current contents. */
+    bool frozen() const { return frozen_epoch_ == mutation_epoch_; }
 
     /** Total instance field count including inherited fields. */
     uint32_t fieldCount(KlassId id) const;
@@ -208,15 +232,50 @@ class Program
     methodsWithAnnotation(const std::string &name) const;
 
   private:
+    /** Any mutation invalidates the frozen dispatch tables. */
+    void touch() { ++mutation_epoch_; }
+
     std::vector<Klass> klasses_;
     std::vector<Method> methods_;
     std::vector<std::string> strings_;
     std::vector<std::string> names_;
-    std::map<std::string, KlassId> klass_by_name_;
-    std::map<std::string, MethodId> method_by_qname_;
-    std::map<std::string, uint32_t> string_ids_;
-    std::map<std::string, NameId> name_ids_;
+    std::unordered_map<std::string, KlassId> klass_by_name_;
+    std::unordered_map<std::string, MethodId> method_by_qname_;
+    std::unordered_map<std::string, uint32_t> string_ids_;
+    std::unordered_map<std::string, NameId> name_ids_;
+
+    /** @name Frozen dispatch tables (see freeze())
+     * Mutable: rebuilt lazily from const lookups; epoch comparison
+     * makes staleness after any mutation detectable. */
+    /// @{
+    uint64_t mutation_epoch_ = 0;
+    mutable uint64_t frozen_epoch_ = UINT64_MAX;
+    /**
+     * Row-major flat table: entry [klass * stride + name] is the
+     * target method (kNoMethod if none). One contiguous allocation
+     * keeps the hot lookup to a single indirection.
+     */
+    mutable std::vector<MethodId> vtable_flat_;
+    mutable std::size_t vtable_stride_ = 0;
+    /** Transitive instance field count per klass. */
+    mutable std::vector<uint32_t> field_counts_;
+    /// @}
 };
+
+inline MethodId
+Program::resolveVirtual(KlassId klass_id, NameId name) const
+{
+    if (frozen_epoch_ != mutation_epoch_)
+        freeze();
+    // Single folded range check: klass_id and name are validated
+    // together against the flat table (either out of range walks
+    // past the end, since row klass_id ends at (klass_id+1)*stride).
+    const std::size_t idx =
+        static_cast<std::size_t>(klass_id) * vtable_stride_ + name;
+    bh_assert(name < vtable_stride_ && idx < vtable_flat_.size(),
+              "bad resolveVirtual(%u, %u)", klass_id, name);
+    return vtable_flat_[idx];
+}
 
 } // namespace beehive::vm
 

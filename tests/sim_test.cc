@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "sim/cpu.h"
@@ -107,6 +109,129 @@ TEST(EventQueue, CallbackMayScheduleMoreEvents)
     while (!q.empty())
         q.runOne();
     EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse)
+{
+    // Regression: the old lazy-deletion queue remembered cancelled
+    // ids in a set forever, so cancelling an already-FIRED event
+    // reported true. The slab queue's generation check reports the
+    // truth: nothing was cancelled.
+    EventQueue q;
+    int fired = 0;
+    EventId id = q.schedule(SimTime::msec(1), [&] { ++fired; });
+    EXPECT_EQ(q.runOne(), SimTime::msec(1));
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)); // and stays false
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdDoesNotCancelSlotReuser)
+{
+    // Cancelling frees the slot immediately; a new event may reuse
+    // it. The old EventId must not be able to kill the newcomer.
+    EventQueue q;
+    bool first = false, second = false;
+    EventId id1 = q.schedule(SimTime::msec(1), [&] { first = true; });
+    EXPECT_TRUE(q.cancel(id1));
+    EventId id2 = q.schedule(SimTime::msec(2), [&] { second = true; });
+    EXPECT_FALSE(q.cancel(id1)); // stale generation
+    EXPECT_EQ(q.pending(), 1u);
+    while (!q.empty())
+        q.runOne();
+    EXPECT_FALSE(first);
+    EXPECT_TRUE(second);
+    EXPECT_FALSE(q.cancel(id2)); // fired, not cancellable
+}
+
+TEST(EventQueue, ConstAccessorsSkipCancelledTop)
+{
+    // empty()/nextTime() are const (the old implementation needed a
+    // const_cast to prune its lazy-deleted top); cancelling the
+    // earliest event must be visible through a const reference.
+    EventQueue q;
+    q.schedule(SimTime::msec(5), [] {});
+    EventId early = q.schedule(SimTime::msec(2), [] {});
+    q.cancel(early);
+    const EventQueue &cq = q;
+    EXPECT_FALSE(cq.empty());
+    EXPECT_EQ(cq.nextTime(), SimTime::msec(5));
+    EXPECT_EQ(cq.pending(), 1u);
+}
+
+TEST(EventQueue, LargeCaptureFallsBackToHeap)
+{
+    // Captures beyond SmallFn's inline buffer go through the heap
+    // branch; behavior must be unchanged.
+    EventQueue q;
+    std::array<int64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<int64_t>(i + 1);
+    int64_t sum = 0;
+    q.schedule(SimTime::msec(1), [payload, &sum] {
+        for (int64_t v : payload)
+            sum += v;
+    });
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(sum, 136);
+}
+
+TEST(SmallFnTest, InlineAndHeapStorage)
+{
+    int hits = 0;
+    SmallFn small([&hits] { ++hits; });
+    EXPECT_TRUE(small.storedInline());
+    small();
+    EXPECT_EQ(hits, 1);
+
+    std::array<char, 128> big{};
+    big[0] = 7;
+    SmallFn large([big, &hits] { hits += big[0]; });
+    EXPECT_FALSE(large.storedInline());
+    large();
+    EXPECT_EQ(hits, 8);
+
+    // Move transfers the callable; the source becomes empty.
+    SmallFn moved(std::move(small));
+    EXPECT_TRUE(static_cast<bool>(moved));
+    EXPECT_FALSE(static_cast<bool>(small));
+    moved();
+    EXPECT_EQ(hits, 9);
+}
+
+TEST(EventQueue, PoolReuseKeepsDeterministicOrder)
+{
+    // Heavy schedule/cancel/fire churn across slot reuse must keep
+    // the (when, seq) total order intact.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int round = 0; round < 50; ++round) {
+        ids.clear();
+        for (int i = 0; i < 8; ++i) {
+            int tag = round * 8 + i;
+            ids.push_back(q.schedule(SimTime::usec(10 + i % 3),
+                                     [&order, tag] {
+                                         order.push_back(tag);
+                                     }));
+        }
+        for (int i = 0; i < 8; i += 2)
+            EXPECT_TRUE(q.cancel(ids[i]));
+        while (!q.empty())
+            q.runOne();
+    }
+    // Within one round: survivors of time 10+((i)%3) sorted by
+    // (when, insertion); rounds never interleave.
+    ASSERT_EQ(order.size(), 50u * 4u);
+    for (int round = 0; round < 50; ++round) {
+        int base = round * 8;
+        std::vector<int> expect = {base + 3, base + 1, base + 7,
+                                   base + 5};
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(order[round * 4 + i], expect[i]);
+    }
 }
 
 TEST(Simulation, ClockAdvancesWithEvents)
