@@ -24,6 +24,14 @@ namespace beehive::bench {
  * per hardware thread) and --serial (same as --threads 1). Trials
  * are deterministic in isolation and merged by index, so thread
  * count never changes the printed output (see harness/parallel.h).
+ *
+ * Telemetry: `telemetry=on` (or `telemetry=off`, the default) sets
+ * the BeeHiveConfig::telemetry knob for every trial; with it on the
+ * benches append critical-path phase-breakdown tables to their
+ * report. --trace-out FILE additionally serializes one designated
+ * trial's span tree as Chrome trace-event JSON (load the file at
+ * ui.perfetto.dev); --trace-request ID restricts that export to a
+ * single telemetry request id (0 = all requests).
  */
 struct BenchArgs
 {
@@ -32,6 +40,9 @@ struct BenchArgs
     int native_scale = 0; //!< 0 = bench default
     std::string app;      //!< empty = all apps
     unsigned threads = 0; //!< trial-runner threads; 0 = hardware
+    bool telemetry = false;
+    std::string trace_out;      //!< empty = no trace export
+    uint64_t trace_request = 0; //!< 0 = export all requests
 };
 
 inline BenchArgs
@@ -55,6 +66,18 @@ parseArgs(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         else if (std::strcmp(argv[i], "--serial") == 0)
             args.threads = 1;
+        else if (std::strcmp(argv[i], "telemetry=on") == 0)
+            args.telemetry = true;
+        else if (std::strcmp(argv[i], "telemetry=off") == 0)
+            args.telemetry = false;
+        else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                 i + 1 < argc) {
+            args.trace_out = argv[++i];
+            args.telemetry = true; // implied: no spans, no trace
+        } else if (std::strcmp(argv[i], "--trace-request") == 0 &&
+                   i + 1 < argc)
+            args.trace_request =
+                std::strtoull(argv[++i], nullptr, 10);
     }
     return args;
 }

@@ -80,7 +80,7 @@ measure(AppKind app, bool shadow_enabled, const BenchArgs &args)
             out.peak_heap_mb,
             static_cast<double>(fn->heap().stats().peak_used) /
                 (1 << 20));
-        for (double p : fn->collector().totals().pause_ms)
+        for (double p : fn->collector().totals().pause_ms.samples())
             pauses.add(p);
         out.gc_cycles += fn->collector().totals().collections;
         out.mapping_kb = std::max(

@@ -21,6 +21,8 @@
 #include "harness/burst.h"
 #include "harness/parallel.h"
 #include "harness/report.h"
+#include "sim/stats.h"
+#include "telemetry/export.h"
 
 using namespace beehive;
 using namespace beehive::harness;
@@ -68,6 +70,18 @@ main(int argc, char **argv)
         }
     }
 
+    // --trace-out exports one designated trial: the first cold
+    // BeeHiveO run (it exercises offload flights, boots and shadow
+    // sessions, so its trace shows every span kind).
+    std::size_t trace_trial = trials.size();
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+        if (trials[i].sol == Solution::BeeHiveO &&
+            trials[i].variant == Cold) {
+            trace_trial = i;
+            break;
+        }
+    }
+
     std::vector<BurstResult> trial_results = runTrials(
         trials.size(),
         [&](std::size_t i) {
@@ -84,9 +98,18 @@ main(int argc, char **argv)
             opts.warm_faas = t.variant == Warm;
             opts.snapshot_faas = t.variant == Snapshot;
             opts.static_faas = t.variant == Static;
+            opts.beehive.telemetry = args.telemetry;
+            opts.export_trace =
+                !args.trace_out.empty() && i == trace_trial;
+            opts.trace_request = args.trace_request;
             return runBurstExperiment(opts);
         },
         args.threads);
+
+    if (!args.trace_out.empty() && trace_trial < trials.size()) {
+        telemetry::writeTraceFile(trial_results[trace_trial].trace_json,
+                                  args.trace_out);
+    }
 
     for (std::size_t i = 0; i < trials.size(); ++i) {
         const Trial &t = trials[i];
@@ -280,30 +303,24 @@ main(int argc, char **argv)
 
     // --- Headline aggregates (Section 5.2).
     auto mean_stab = [&](Solution sol, bool warm) {
-        double sum = 0;
-        int n = 0;
+        sim::SampleSet stab;
         for (AppKind app : apps) {
             const BurstResult &r =
                 warm ? warm_results[app][sol] : results[app][sol];
-            if (r.stabilization_seconds >= 0) {
-                sum += r.stabilization_seconds;
-                ++n;
-            }
+            if (r.stabilization_seconds >= 0)
+                stab.add(r.stabilization_seconds);
         }
-        return n ? sum / n : -1.0;
+        return stab.empty() ? -1.0 : stab.mean();
     };
     auto mean_overhead_vs = [&](Solution sol, Solution base) {
-        double sum = 0;
-        int n = 0;
+        sim::SampleSet overhead;
         for (AppKind app : apps) {
             double b = results[app][base].stable_p99;
             double s = results[app][sol].stable_p99;
-            if (b > 0 && s > 0) {
-                sum += (s - b) / b;
-                ++n;
-            }
+            if (b > 0 && s > 0)
+                overhead.add((s - b) / b);
         }
-        return n ? sum / n * 100.0 : 0.0;
+        return overhead.empty() ? 0.0 : overhead.mean() * 100.0;
     };
 
     std::printf("\n== Section 5.2 headline numbers ==\n");
@@ -328,16 +345,13 @@ main(int argc, char **argv)
                                  Solution::OnDemand));
 
     auto mean_snap_stab = [&](Solution sol) {
-        double sum = 0;
-        int n = 0;
+        sim::SampleSet stab;
         for (AppKind app : apps) {
             const BurstResult &r = snap_results[app][sol];
-            if (r.stabilization_seconds >= 0) {
-                sum += r.stabilization_seconds;
-                ++n;
-            }
+            if (r.stabilization_seconds >= 0)
+                stab.add(r.stabilization_seconds);
         }
-        return n ? sum / n : -1.0;
+        return stab.empty() ? -1.0 : stab.mean();
     };
     std::printf("mean stabilization (snapshot restore boots): "
                 "BeeHiveO %.2f s vs %.2f s cold, BeeHiveL %.2f s "
@@ -348,16 +362,13 @@ main(int argc, char **argv)
                 mean_stab(Solution::BeeHiveL, false));
 
     auto mean_static_stab = [&](Solution sol) {
-        double sum = 0;
-        int n = 0;
+        sim::SampleSet stab;
         for (AppKind app : apps) {
             const BurstResult &r = static_results[app][sol];
-            if (r.stabilization_seconds >= 0) {
-                sum += r.stabilization_seconds;
-                ++n;
-            }
+            if (r.stabilization_seconds >= 0)
+                stab.add(r.stabilization_seconds);
         }
-        return n ? sum / n : -1.0;
+        return stab.empty() ? -1.0 : stab.mean();
     };
     std::printf("mean stabilization (static-manifest restore, "
                 "first boot): BeeHiveO %.2f s vs %.2f s cold, "
@@ -366,5 +377,20 @@ main(int argc, char **argv)
                 mean_stab(Solution::BeeHiveO, false),
                 mean_static_stab(Solution::BeeHiveL),
                 mean_stab(Solution::BeeHiveL, false));
+
+    // --- Critical-path attribution (telemetry=on only).
+    if (args.telemetry) {
+        for (AppKind app : apps) {
+            for (Solution sol : solutions) {
+                const BurstResult &r = results[app][sol];
+                printPhaseBreakdown(
+                    std::string("Critical path: ") + appName(app) +
+                        ", " + solutionName(sol),
+                    r.breakdown);
+                for (const std::string &v : r.span_violations)
+                    std::printf("span violation: %s\n", v.c_str());
+            }
+        }
+    }
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "harness/parallel.h"
 #include "harness/report.h"
 #include "harness/throughput.h"
+#include "telemetry/export.h"
 
 using namespace beehive;
 using namespace beehive::harness;
@@ -66,6 +67,8 @@ main(int argc, char **argv)
         // simulated VMs affordable.
         opts.beehive.function_closure_bytes = 3u << 20;
         opts.beehive.function_alloc_bytes = 3u << 20;
+        opts.beehive.telemetry = args.telemetry;
+        opts.trace_request = args.trace_request;
 
         const ThroughputConfig configs[] = {
             ThroughputConfig::Vanilla,
@@ -98,13 +101,31 @@ main(int argc, char **argv)
             trials.push_back({s, rate});
     }
 
+    // --trace-out exports one designated point: the first rate of
+    // the first BeeHiveO sweep (offload flights + boots present,
+    // and the lowest-rate run keeps the trace file small).
+    std::size_t trace_trial = trials.size();
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+        if (sweeps[trials[i].sweep].opts.config ==
+            ThroughputConfig::BeeHiveO) {
+            trace_trial = i;
+            break;
+        }
+    }
+
     std::vector<ThroughputPoint> flat = runTrials(
         trials.size(),
         [&](std::size_t i) {
-            return runThroughputPoint(sweeps[trials[i].sweep].opts,
-                                      trials[i].rate);
+            ThroughputOptions opts = sweeps[trials[i].sweep].opts;
+            opts.export_trace =
+                !args.trace_out.empty() && i == trace_trial;
+            return runThroughputPoint(opts, trials[i].rate);
         },
         args.threads);
+    if (!args.trace_out.empty() && trace_trial < trials.size()) {
+        telemetry::writeTraceFile(flat[trace_trial].trace_json,
+                                  args.trace_out);
+    }
     for (std::size_t i = 0; i < trials.size(); ++i)
         sweeps[trials[i].sweep].points.push_back(flat[i]);
 
@@ -134,6 +155,21 @@ main(int argc, char **argv)
                    {"app", "config", "offered", "achieved",
                     "mean_ms", "p99_ms"},
                    rows);
+    }
+
+    // --- Critical-path attribution (telemetry=on only): one table
+    // per sweep, at its highest offered rate.
+    if (args.telemetry) {
+        for (const Sweep &sweep : sweeps) {
+            if (sweep.points.empty())
+                continue;
+            const ThroughputPoint &top = sweep.points.back();
+            printPhaseBreakdown(
+                std::string("Critical path: ") + appName(sweep.app) +
+                    ", " + throughputConfigName(sweep.opts.config) +
+                    " @ " + fmt(top.offered_rps, 0) + " rps",
+                top.breakdown);
+        }
     }
     return 0;
 }

@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "harness/report.h"
 #include "sim/event_queue.h"
 #include "support/logging.h"
+#include "telemetry/export.h"
 #include "vm/code_builder.h"
 #include "vm/context.h"
 #include "vm/interpreter.h"
@@ -267,6 +269,9 @@ struct CorpusResult
     uint64_t misses = 0;
     std::size_t sites = 0;
     std::size_t mono_sites = 0;
+    /** Telemetry (populated when telemetry=on). */
+    telemetry::PhaseAggregate breakdown;
+    std::string trace_json; //!< empty unless export requested
 
     double
     hitRate() const
@@ -287,13 +292,14 @@ struct CorpusResult
 
 /** Drive one app (vanilla server) and read its context's caches. */
 CorpusResult
-benchAppCorpus(AppKind app, const BenchArgs &args)
+benchAppCorpus(AppKind app, const BenchArgs &args, bool export_trace)
 {
     TestbedOptions opts;
     opts.app = app;
     opts.seed = args.seed;
     opts.vanilla = true;
     opts.framework = benchFramework(args);
+    opts.beehive.telemetry = args.telemetry;
     Testbed bed(opts);
 
     SimTime t0 = bed.sim().now();
@@ -317,6 +323,14 @@ benchAppCorpus(AppKind app, const BenchArgs &args)
             if (line.fills == 1)
                 ++r.mono_sites;
         });
+    if (telemetry::Tracer *t = bed.tracer()) {
+        bed.harvestMetrics();
+        r.breakdown = telemetry::aggregateBreakdown(*t);
+        if (export_trace) {
+            r.trace_json =
+                telemetry::toChromeTraceJson(*t, args.trace_request);
+        }
+    }
     return r;
 }
 
@@ -348,7 +362,10 @@ main(int argc, char **argv)
     uint64_t hits = 0, misses = 0;
     std::size_t sites = 0, mono = 0;
     for (AppKind app : appsFor(args)) {
-        corpus.push_back(benchAppCorpus(app, args));
+        // --trace-out exports the first app's corpus run.
+        bool export_trace =
+            !args.trace_out.empty() && corpus.empty();
+        corpus.push_back(benchAppCorpus(app, args, export_trace));
         const CorpusResult &r = corpus.back();
         hits += r.hits;
         misses += r.misses;
@@ -389,6 +406,17 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.hits +
                                                     r.misses),
                     r.sites, r.monoFraction() * 100.0);
+    }
+    if (!args.trace_out.empty() && !corpus.empty()) {
+        telemetry::writeTraceFile(corpus.front().trace_json,
+                                  args.trace_out);
+    }
+    if (args.telemetry) {
+        for (const CorpusResult &r : corpus) {
+            printPhaseBreakdown("Critical path (corpus run): " +
+                                    r.app,
+                                r.breakdown);
+        }
     }
 
     std::FILE *json = std::fopen("BENCH_perf.json", "w");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace beehive::cloud {
 
@@ -108,10 +109,12 @@ FunctionInstance &
 FaasPlatform::launch()
 {
     auto inst = std::make_unique<FunctionInstance>();
+    std::string name =
+        profile_.name + "-fn-" + std::to_string(instances_.size());
     inst->machine = std::make_unique<Instance>(
-        sim_, net_, profile_.instance_type,
-        profile_.name + "-fn-" + std::to_string(instances_.size()),
-        profile_.zone);
+        sim_, net_, profile_.instance_type, name, profile_.zone);
+    if (telemetry::Tracer *t = sim_.tracer())
+        inst->track = t->newTrack(std::move(name));
     instances_.push_back(std::move(inst));
     return *instances_.back();
 }
@@ -120,6 +123,7 @@ void
 FaasPlatform::acquire(AcquireCallback cb)
 {
     ++invocations_;
+    telemetry::Tracer *t = sim_.tracer();
     FunctionInstance *warm = findWarm();
     if (warm) {
         ++warm_boots_;
@@ -132,7 +136,15 @@ FaasPlatform::acquire(AcquireCallback cb)
         sim::SimTime boot = profile_.warm_boot;
         if (compacted)
             boot = boot + profile_.decompact_penalty;
-        sim_.after(boot, [this, warm, cb = std::move(cb)] {
+        telemetry::SpanId span = telemetry::kNoSpan;
+        if (t) {
+            span = t->beginUnder("boot.warm", telemetry::Phase::Boot,
+                                 warm->track);
+            t->metrics().observe("boot.warm_ms", boot.toMillis());
+        }
+        sim_.after(boot, [this, warm, span, cb = std::move(cb)] {
+            if (telemetry::Tracer *t = sim_.tracer())
+                t->end(span);
             ++warm->invocations;
             cb(*warm);
         });
@@ -149,7 +161,15 @@ FaasPlatform::acquire(AcquireCallback cb)
                         sim::SimTime::nsec(static_cast<int64_t>(
                             std::max(jitter, -0.5 * static_cast<double>(
                                 profile_.cold_boot_mean.ns()))));
-    sim_.after(boot, [this, &fresh, cb = std::move(cb)] {
+    telemetry::SpanId span = telemetry::kNoSpan;
+    if (t) {
+        span = t->beginUnder("boot.cold", telemetry::Phase::Boot,
+                             fresh.track);
+        t->metrics().observe("boot.cold_ms", boot.toMillis());
+    }
+    sim_.after(boot, [this, &fresh, span, cb = std::move(cb)] {
+        if (telemetry::Tracer *t = sim_.tracer())
+            t->end(span);
         ++fresh.invocations;
         cb(fresh);
     });
@@ -171,7 +191,15 @@ FaasPlatform::acquireRestore(uint64_t image_bytes, AcquireCallback cb)
     sim::SimTime boot =
         profile_.restore_boot_base +
         sim::SimTime::nsec(static_cast<int64_t>(transfer_sec * 1e9));
-    sim_.after(boot, [this, &fresh, cb = std::move(cb)] {
+    telemetry::SpanId span = telemetry::kNoSpan;
+    if (telemetry::Tracer *t = sim_.tracer()) {
+        span = t->beginUnder("boot.restore", telemetry::Phase::Boot,
+                             fresh.track);
+        t->metrics().observe("boot.restore_ms", boot.toMillis());
+    }
+    sim_.after(boot, [this, &fresh, span, cb = std::move(cb)] {
+        if (telemetry::Tracer *t = sim_.tracer())
+            t->end(span);
         ++fresh.invocations;
         cb(fresh);
     });

@@ -102,6 +102,9 @@ struct FunctionInstance
     /** Opaque per-instance state owned by the BeeHive runtime
      * (the function-side VM); survives across warm invocations. */
     std::shared_ptr<void> runtime_state;
+    /** Telemetry track (exporter "thread") of this instance; 0 when
+     * telemetry is off. */
+    uint32_t track = 0;
 };
 
 /** A FaaS platform with an instance cache. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include "support/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace beehive::cloud {
 
@@ -77,7 +78,14 @@ InstanceScaler::requestInstance(ReadyCallback ready)
 
     auto idx = instances_.size();
     instances_.push_back(nullptr);
-    sim_.after(prep, [this, idx, launch, switch_over,
+    telemetry::SpanId span = telemetry::kNoSpan;
+    if (telemetry::Tracer *t = sim_.tracer()) {
+        span = t->beginUnder("provision.instance",
+                             telemetry::Phase::Boot,
+                             t->clientsTrack());
+        t->metrics().count("scaling.provisions");
+    }
+    sim_.after(prep, [this, idx, launch, switch_over, span,
                       ready = std::move(ready)]() mutable {
         // Hardware exists from this moment (billing starts).
         instances_[idx] = std::make_unique<Instance>(
@@ -90,7 +98,10 @@ InstanceScaler::requestInstance(ReadyCallback ready)
                     kind_ == ScalingKind::Burstable
                 ? switch_over
                 : launch;
-        sim_.after(boot, [this, idx, ready = std::move(ready)] {
+        sim_.after(boot, [this, idx, span,
+                          ready = std::move(ready)] {
+            if (telemetry::Tracer *t = sim_.tracer())
+                t->end(span);
             ready(*instances_[idx]);
         });
     });

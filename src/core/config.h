@@ -176,6 +176,21 @@ struct BeeHiveConfig
     bool race_check = false;
 
     /**
+     * Install the telemetry tracer (src/telemetry/): causal span
+     * recording through the whole request lifecycle, the metrics
+     * registry, critical-path attribution, and the Chrome trace
+     * exporter. Off by default with zero overhead -- every
+     * instrumentation site is a single null-pointer check and no
+     * RNG draw or event reordering happens either way, so all
+     * experiment output stays byte-identical unless enabled.
+     */
+    bool telemetry = false;
+
+    /** Span ring-buffer capacity when telemetry is on; the oldest
+     * spans are overwritten (and counted as dropped) beyond it. */
+    std::size_t telemetry_span_capacity = 1u << 18;
+
+    /**
      * Let the lockset race detector (vm/race_analysis.h) widen
      * offload admission: monitor sites whose lock provably guards
      * no shared-written state stop demanding the cross-endpoint

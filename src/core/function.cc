@@ -29,6 +29,10 @@ class BeeHiveFunction::Invocation
         trace_.prefetched_objects = fn.pending_prefetch_.objects;
         trace_.stale_prefetches = fn.pending_prefetch_.stale;
         fn.pending_prefetch_ = {};
+        // Causal position of this invocation (the flight span that
+        // dispatched us); captured now, handlers run asynchronously.
+        if (telemetry::Tracer *t = sim_.tracer())
+            tctx_ = t->current();
     }
 
     ~Invocation()
@@ -44,6 +48,7 @@ class BeeHiveFunction::Invocation
     start(std::vector<Value> local_args)
     {
         started_at_ = sim_.now();
+        beginExecSpan("fn.invocations");
         if (shadow_) {
             shadow_token_ =
                 fn_.server_.proxy().shadowBegin(fn_.node());
@@ -56,6 +61,7 @@ class BeeHiveFunction::Invocation
     startFromSnapshot(std::vector<vm::Frame> frames)
     {
         started_at_ = sim_.now();
+        beginExecSpan("fn.resumes");
         if (shadow_) {
             shadow_token_ =
                 fn_.server_.proxy().shadowBegin(fn_.node());
@@ -66,6 +72,47 @@ class BeeHiveFunction::Invocation
 
 
   private:
+    telemetry::Tracer *tracer() { return sim_.tracer(); }
+
+    void
+    beginExecSpan(const char *metric)
+    {
+        telemetry::Tracer *t = tracer();
+        if (!t)
+            return;
+        exec_span_ =
+            t->begin("fn.exec", telemetry::Phase::Exec,
+                     fn_.instance_.track, tctx_.span, tctx_.request);
+        t->metrics().count(metric);
+        if (shadow_)
+            t->metrics().count("fn.shadow_invocations");
+    }
+
+    /** Open a sub-span of this invocation's execution span. */
+    telemetry::SpanId
+    span(const char *name, telemetry::Phase phase)
+    {
+        telemetry::Tracer *t = tracer();
+        if (!t)
+            return telemetry::kNoSpan;
+        return t->begin(name, phase, fn_.instance_.track, exec_span_,
+                        tctx_.request);
+    }
+
+    void
+    endSpan(telemetry::SpanId id)
+    {
+        if (telemetry::Tracer *t = tracer())
+            t->end(id);
+    }
+
+    void
+    countMetric(const char *name, uint64_t by = 1)
+    {
+        if (telemetry::Tracer *t = tracer())
+            t->metrics().count(name, by);
+    }
+
     /**
      * Run @p record against the snapshot store when this invocation
      * is part of a recorded cold boot: the store is enabled and the
@@ -164,7 +211,12 @@ class BeeHiveFunction::Invocation
           case vm::Suspend::Kind::HeapFull: {
             gc::GcCycleStats gc = fn_.collector_->collect();
             trace_.gc_time += gc.pause;
-            after(gc.pause, [this] { pump(); });
+            telemetry::SpanId sp =
+                span("gc.pause", telemetry::Phase::Gc);
+            after(gc.pause, [this, sp] {
+                endSpan(sp);
+                pump();
+            });
             return;
           }
 
@@ -188,7 +240,11 @@ class BeeHiveFunction::Invocation
         recordFault([&](snapshot::SnapshotStore &snaps) {
             snaps.recordClassFault(root_, klass);
         });
-        after(latency, [this, klass] {
+        telemetry::SpanId sp =
+            span("fallback.code", telemetry::Phase::Fetch);
+        countMetric("fallback.code");
+        after(latency, [this, klass, sp] {
+            endSpan(sp);
             fn_.ctx_->loadKlass(klass);
             pump();
         });
@@ -206,6 +262,7 @@ class BeeHiveFunction::Invocation
         trace_.countFallback(FallbackKind::MissingData);
         trace_.fallback_time += latency;
         trace_.fetch_time += latency;
+        countMetric("fallback.data");
         fn_.server_.countFallbackServed();
         recordFault([&](snapshot::SnapshotStore &snaps) {
             snaps.recordObjectFault(
@@ -223,13 +280,19 @@ class BeeHiveFunction::Invocation
             trace_.countFallback(FallbackKind::MissingCode);
             trace_.fallback_time += extra;
             trace_.fetch_time += extra;
+            countMetric("fallback.code");
             latency += extra;
             fn_.ctx_->loadKlass(k);
             recordFault([&](snapshot::SnapshotStore &snaps) {
                 snaps.recordClassFault(root_, k);
             });
         }
-        after(latency, [this] { pump(); });
+        telemetry::SpanId sp =
+            span("fallback.data", telemetry::Phase::Fetch);
+        after(latency, [this, sp] {
+            endSpan(sp);
+            pump();
+        });
     }
 
     void
@@ -241,8 +304,12 @@ class BeeHiveFunction::Invocation
         sim::SimTime latency = serverRtt(128, 128);
         trace_.countFallback(FallbackKind::Native);
         trace_.fallback_time += latency;
+        countMetric("fallback.native");
         fn_.server_.countFallbackServed();
-        after(latency, [this] {
+        telemetry::SpanId sp =
+            span("fallback.native", telemetry::Phase::Native);
+        after(latency, [this, sp] {
+            endSpan(sp);
             fn_.ctx_->forceNextNativeLocal();
             pump();
         });
@@ -251,6 +318,9 @@ class BeeHiveFunction::Invocation
     void
     handleMonitorAcquire(Ref obj)
     {
+        // The wait span covers queueing on the monitor plus the
+        // acquire round trip; it closes when the interpreter resumes.
+        sync_span_ = span("sync.wait", telemetry::Phase::Sync);
         fn_.server_.sync().acquireMonitor(
             fn_.endpoint_id_, this, obj,
             [w = weak_from_this(),
@@ -281,13 +351,18 @@ class BeeHiveFunction::Invocation
         trace_.sync_time += latency;
         trace_.fallback_time += latency;
         trace_.synchronized_objects += r.objects_transferred;
+        countMetric("fallback.sync");
         fn_.server_.countFallbackServed();
 
         if (fn_.server_.config().failure_recovery)
             captureSnapshot();
 
         interp_.grantMonitor(obj);
-        after(latency, [this] { pump(); });
+        after(latency, [this] {
+            endSpan(sync_span_);
+            sync_span_ = telemetry::kNoSpan;
+            pump();
+        });
     }
 
     void
@@ -310,9 +385,15 @@ class BeeHiveFunction::Invocation
         trace_.sync_time += latency;
         trace_.fallback_time += latency;
         trace_.synchronized_objects += r.objects_transferred;
+        countMetric("fallback.sync");
         fn_.server_.countFallbackServed();
         interp_.grantVolatile(obj);
-        after(latency, [this] { pump(); });
+        telemetry::SpanId sp =
+            span("sync.volatile", telemetry::Phase::Sync);
+        after(latency, [this, sp] {
+            endSpan(sp);
+            pump();
+        });
     }
 
     void
@@ -336,6 +417,7 @@ class BeeHiveFunction::Invocation
 
         db::Response resp;
         sim::SimTime latency;
+        telemetry::SpanId sp = telemetry::kNoSpan;
         if (server.config().proxy_enabled && packed) {
             // Proxy path: the packed connection ID reaches the
             // database through the shared connection; no fallback.
@@ -357,6 +439,8 @@ class BeeHiveFunction::Invocation
                       server.proxy().processingTime() +
                       server.proxy().dbServiceTime(payload.request);
             ++trace_.db_ops;
+            countMetric("fn.db_ops");
+            sp = span("db.roundtrip", telemetry::Phase::Db);
         } else {
             // No proxy support: every round is a fallback through
             // the server (the behaviour BeeHive's Section 3.3
@@ -382,10 +466,13 @@ class BeeHiveFunction::Invocation
                       server.dbRoundTrip(payload.request, resp);
             trace_.countFallback(FallbackKind::Connection);
             trace_.fallback_time += latency;
+            countMetric("fallback.connection");
             server.countFallbackServed();
+            sp = span("fallback.connection", telemetry::Phase::Db);
         }
 
-        after(latency, [this, payload, resp] {
+        after(latency, [this, payload, resp, sp] {
+            endSpan(sp);
             auto v = tryMaterializeDbResponse(*fn_.ctx_,
                                               payload.request, resp);
             if (!v) {
@@ -476,7 +563,11 @@ class BeeHiveFunction::Invocation
         sim::SimTime ret_latency = fn_.server_.network().roundTrip(
             fn_.node(), fn_.server_.endpoint(), 256, 64);
         trace_.duration = sim_.now() + ret_latency - started_at_;
-        after(ret_latency, [this, server_result] {
+        telemetry::SpanId ret_sp =
+            span("fn.return", telemetry::Phase::Net);
+        after(ret_latency, [this, server_result, ret_sp] {
+            endSpan(ret_sp);
+            endSpan(exec_span_);
             fn_.warmed_roots_.insert(root_);
             fn_.total_trace_.merge(trace_);
             ++fn_.invocation_count_;
@@ -504,6 +595,9 @@ class BeeHiveFunction::Invocation
     RequestTrace trace_;
     proxy::ShadowToken shadow_token_ = 0;
     sim::SimTime started_at_;
+    telemetry::Context tctx_;
+    telemetry::SpanId exec_span_ = telemetry::kNoSpan;
+    telemetry::SpanId sync_span_ = telemetry::kNoSpan;
 };
 
 // ---------------------------------------------------------------------
@@ -569,6 +663,14 @@ BeeHiveFunction::BeeHiveFunction(BeeHiveServer &server,
             invocation_->interp().forEachRoot(visit);
         ctx_->forEachStatic(visit);
     });
+    if (telemetry::Tracer *t = server.sim().tracer()) {
+        collector_->setObserver([t](const gc::GcCycleStats &c) {
+            telemetry::MetricsRegistry &m = t->metrics();
+            m.count("gc.fn_cycles");
+            m.count("gc.fn_bytes_copied", c.bytes_copied);
+            m.observe("gc.fn_pause_ms", c.pause.toMillis());
+        });
+    }
 }
 
 BeeHiveFunction::~BeeHiveFunction()

@@ -223,6 +223,44 @@ OffloadManager::functionOf(cloud::FunctionInstance &inst)
 }
 
 void
+OffloadManager::shadowLocalLeg(InFlight &flight, vm::MethodId root)
+{
+    ++stats_.local;
+    telemetry::Tracer *t = server_.sim().tracer();
+    DoneCb user_done = std::move(flight.done);
+    if (t && flight.span != telemetry::kNoSpan) {
+        // The user-side flight span closes when the local leg serves
+        // the user; the continuing shadow records under a fresh
+        // request root below (it outlives the user request, and a
+        // sibling overlapping the local leg would break the span
+        // tree's nesting invariant).
+        telemetry::SpanId user_span = flight.span;
+        user_done = [t, user_span,
+                     inner = std::move(user_done)](Value v) {
+            t->end(user_span);
+            inner(v);
+        };
+    }
+    {
+        telemetry::ScopedContext sc(
+            t, {flight.trace_request, flight.span});
+        server_.handleLocal(root, flight.args, std::move(user_done),
+                            /*suppress_offload=*/true);
+    }
+    flight.done = [](Value) {};
+    flight.shadow = true;
+    ++stats_.shadows;
+    if (t) {
+        flight.trace_request = t->newRequest();
+        flight.span = t->begin("shadow.flight",
+                               telemetry::Phase::Offload,
+                               server_.track(), telemetry::kNoSpan,
+                               flight.trace_request);
+        t->metrics().count("offload.shadow_flights");
+    }
+}
+
+void
 OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
                         DoneCb done)
 {
@@ -232,6 +270,15 @@ OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
     flight.args = std::move(args);
     flight.done = std::move(done);
     ++active_offloads_;
+    telemetry::Tracer *t = server_.sim().tracer();
+    if (t) {
+        telemetry::Context c = t->current();
+        flight.trace_request = c.request;
+        flight.span =
+            t->begin("offload.flight", telemetry::Phase::Offload,
+                     server_.track(), c.span, c.request);
+        t->metrics().count("offload.flights");
+    }
 
     // Warm instances stay connected to the server: dispatching to
     // one is a message over that connection, not a platform invoke.
@@ -252,14 +299,8 @@ OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
     // server side and directly returned to users once complete");
     // the cold boot, closure install, and warmup storm all happen
     // on the shadow duplicate, off the user's critical path.
-    if (server_.config().shadow_execution) {
-        ++stats_.local;
-        server_.handleLocal(root, flight.args, std::move(flight.done),
-                            /*suppress_offload=*/true);
-        flight.done = [](Value) {};
-        flight.shadow = true;
-        ++stats_.shadows;
-    }
+    if (server_.config().shadow_execution)
+        shadowLocalLeg(flight, root);
 
     auto booted = [this, id](cloud::FunctionInstance &inst) {
         auto it = flights_.find(id);
@@ -276,12 +317,18 @@ OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
     // full cold path; the recorded working set rides along, so the
     // shadow phase runs without its fault storm. A stale image only
     // shrinks the prefetched set -- dropped entries fault normally.
+    // Boot spans opened inside the platform parent under the flight
+    // (real flights) or the fresh shadow root (shadow flights).
+    telemetry::ScopedContext sc(t,
+                                {flight.trace_request, flight.span});
     snapshot::SnapshotStore *snaps = server_.snapshots();
     if (snaps && snaps->hasImage(root)) {
         flight.plan = snaps->planRestore(
             root, server_.collector().totals().collections);
         flight.restore = true;
         ++stats_.restores;
+        if (t)
+            t->metrics().count("offload.restore_boots");
         platform_.acquireRestore(flight.plan.image_bytes,
                                  std::move(booted));
         return;
@@ -296,10 +343,15 @@ OffloadManager::dispatchOn(cloud::FunctionInstance &inst,
     InFlight &flight = flights_[flight_id];
     vm::MethodId root = flight.root;
     BeeHiveFunction &fn = functionOf(inst);
+    telemetry::Tracer *t = server_.sim().tracer();
 
     if (fn.warmedFor(root) && !flight.shadow) {
         // Warmed instance: a real offloaded execution.
         ++stats_.offloaded;
+        if (t)
+            t->metrics().count("offload.warm_dispatches");
+        telemetry::ScopedContext sc(
+            t, {flight.trace_request, flight.span});
         fn.invoke(root, flight.args, /*shadow=*/false,
                   [this, flight_id](Value result,
                                     const RequestTrace &trace) {
@@ -312,7 +364,9 @@ OffloadManager::dispatchOn(cloud::FunctionInstance &inst,
     // instance may have served a different root and still need this
     // root's closure.
     sim::SimTime transfer;
+    bool installed = false;
     if (!fn.warmedFor(root)) {
+        installed = true;
         const Closure &closure = closureFor(root);
         InstallResult install = fn.install(closure);
         transfer = server_.network().oneWay(
@@ -350,6 +404,13 @@ OffloadManager::dispatchOn(cloud::FunctionInstance &inst,
             }
             fn.notePrefetch(klasses, objects,
                             flight.plan.stale_objects);
+            if (t) {
+                telemetry::MetricsRegistry &m = t->metrics();
+                m.count("prefetch.klasses", klasses);
+                m.count("prefetch.objects", objects);
+                m.count("prefetch.stale_objects",
+                        flight.plan.stale_objects);
+            }
         }
     }
 
@@ -357,23 +418,35 @@ OffloadManager::dispatchOn(cloud::FunctionInstance &inst,
         // A cached-but-unwarmed instance received a real request:
         // serve the user locally and warm the instance with a
         // shadow, exactly like the cold path.
-        ++stats_.local;
-        server_.handleLocal(root, flight.args, std::move(flight.done),
-                            /*suppress_offload=*/true);
-        flight.done = [](Value) {};
-        flight.shadow = true;
-        ++stats_.shadows;
+        shadowLocalLeg(flight, root);
     }
     bool shadow = flight.shadow;
     if (!shadow)
         ++stats_.offloaded; // naive first offload (ablation path)
 
+    // The install span is opened after a possible shadow conversion
+    // (everything here shares one sim instant, so its start time is
+    // unaffected) so it nests under the flight's *final* root rather
+    // than overlapping the user-side local leg.
+    telemetry::SpanId install_span = telemetry::kNoSpan;
+    if (t && installed) {
+        install_span = t->begin(
+            "closure.install", telemetry::Phase::Net, server_.track(),
+            flight.span, flight.trace_request);
+        t->metrics().count("offload.closure_installs");
+    }
+
     server_.sim().after(transfer, [this, flight_id, &inst, root,
-                                   shadow] {
+                                   shadow, install_span] {
         auto it = flights_.find(flight_id);
         if (it == flights_.end())
             return;
+        telemetry::Tracer *t = server_.sim().tracer();
+        if (t)
+            t->end(install_span);
         BeeHiveFunction &fn = functionOf(inst);
+        telemetry::ScopedContext sc(
+            t, {it->second.trace_request, it->second.span});
         fn.invoke(root, it->second.args, shadow,
                   [this, flight_id](Value result,
                                     const RequestTrace &trace) {
@@ -392,6 +465,10 @@ OffloadManager::finishFlight(uint64_t flight_id, Value result,
     flights_.erase(it);
     --active_offloads_;
     traces_.emplace_back(flight.root, trace);
+    if (telemetry::Tracer *t = server_.sim().tracer()) {
+        t->end(flight.span);
+        t->metrics().count("offload.completed");
+    }
     if (flight.instance)
         platform_.release(*flight.instance);
     flight.done(result);
@@ -425,6 +502,15 @@ OffloadManager::recover(uint64_t flight_id,
                         bool had_snapshot)
 {
     ++stats_.recoveries;
+    telemetry::Tracer *t = server_.sim().tracer();
+    telemetry::Context rctx;
+    if (auto fit = flights_.find(flight_id);
+        t && fit != flights_.end()) {
+        rctx = {fit->second.trace_request, fit->second.span};
+        t->metrics().count("offload.recoveries");
+    }
+    // Recovery boot parents under the flight span.
+    telemetry::ScopedContext sc(t, rctx);
     platform_.acquire([this, flight_id, had_snapshot,
                        snapshot = std::move(snapshot)](
                           cloud::FunctionInstance &inst) mutable {
@@ -449,6 +535,9 @@ OffloadManager::recover(uint64_t flight_id,
                 if (it == flights_.end())
                     return;
                 BeeHiveFunction &fn = functionOf(inst);
+                telemetry::ScopedContext sc(
+                    server_.sim().tracer(),
+                    {it->second.trace_request, it->second.span});
                 auto done = [this, flight_id](
                                 Value result,
                                 const RequestTrace &trace) {

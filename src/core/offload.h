@@ -34,6 +34,7 @@
 #include "core/closure.h"
 #include "core/function.h"
 #include "core/server.h"
+#include "telemetry/telemetry.h"
 #include "vm/offload_analysis.h"
 
 namespace beehive::core {
@@ -160,10 +161,23 @@ class OffloadManager
          * pre-installed before the first dispatch. */
         bool restore = false;
         snapshot::RestorePlan plan;
+        /** Telemetry: the request this flight records under and its
+         * umbrella span. A shadow conversion re-roots both (the
+         * shadow outlives the user request, so it gets its own
+         * request id to keep span trees well nested). */
+        uint64_t trace_request = 0;
+        telemetry::SpanId span = telemetry::kNoSpan;
     };
 
     void offload(vm::MethodId root, std::vector<vm::Value> args,
                  DoneCb done);
+
+    /**
+     * Serve the user's request by a suppressed local execution and
+     * turn the flight into a shadow (cold path and cached-unwarmed
+     * path both use this).
+     */
+    void shadowLocalLeg(InFlight &flight, vm::MethodId root);
 
     /** OffloadCall dispatch from a server-side interpreter. */
     void dispatchOffloadCall(vm::MethodId root,

@@ -65,9 +65,9 @@ class BeeHiveServer::LocalInvocation
   public:
     LocalInvocation(BeeHiveServer &server, vm::MethodId root,
                     std::vector<Value> args, DoneCb done,
-                    bool suppress_offload)
+                    bool suppress_offload, telemetry::Context tctx)
         : server_(server), interp_(server.context()), root_(root),
-          done_(std::move(done))
+          done_(std::move(done)), tctx_(tctx)
     {
         interp_.setSuppressOffload(suppress_offload);
         if (server_.profiling()) {
@@ -88,10 +88,16 @@ class BeeHiveServer::LocalInvocation
     begin()
     {
         ++server_.stats_.local_requests;
+        if (auto *t = tracer()) {
+            exec_span_ =
+                t->begin("server.exec", telemetry::Phase::Exec,
+                         server_.track(), tctx_.span, tctx_.request);
+        }
         pump();
     }
 
   private:
+    telemetry::Tracer *tracer() { return server_.sim().tracer(); }
     void
     pump()
     {
@@ -125,7 +131,18 @@ class BeeHiveServer::LocalInvocation
                 payload.request);
             sim::SimTime latency =
                 server_.dbRoundTrip(payload.request, resp);
-            server_.sim().after(latency, [this, payload, resp] {
+            telemetry::SpanId db_span = telemetry::kNoSpan;
+            if (auto *t = tracer()) {
+                db_span = t->begin("db.roundtrip",
+                                   telemetry::Phase::Db,
+                                   server_.track(), exec_span_,
+                                   tctx_.request);
+                t->metrics().count("db.ops");
+            }
+            server_.sim().after(latency, [this, payload, resp,
+                                          db_span] {
+                if (auto *t = tracer())
+                    t->end(db_span);
                 auto v = tryMaterializeDbResponse(
                     server_.context(), payload.request, resp);
                 if (!v) {
@@ -143,9 +160,17 @@ class BeeHiveServer::LocalInvocation
 
           case vm::Suspend::Kind::MonitorAcquire: {
             vm::Ref obj = s.monitor_obj;
+            telemetry::SpanId sync_span = telemetry::kNoSpan;
+            if (auto *t = tracer()) {
+                sync_span = t->begin("sync.wait",
+                                     telemetry::Phase::Sync,
+                                     server_.track(), exec_span_,
+                                     tctx_.request);
+            }
             server_.sync().acquireMonitor(
                 0, this, obj,
-                [this, obj](const SyncManager::SyncResult &r) {
+                [this, obj,
+                 sync_span](const SyncManager::SyncResult &r) {
                     sim::SimTime latency;
                     if (r.remote && r.prev_owner != 0) {
                         // Coordinate with the previous owner
@@ -157,8 +182,11 @@ class BeeHiveServer::LocalInvocation
                             r.bytes_transferred + 64);
                     }
                     interp_.grantMonitor(obj);
-                    server_.sim().after(latency,
-                                        [this] { pump(); });
+                    server_.sim().after(latency, [this, sync_span] {
+                        if (auto *t = tracer())
+                            t->end(sync_span);
+                        pump();
+                    });
                 });
             return;
           }
@@ -183,20 +211,46 @@ class BeeHiveServer::LocalInvocation
                     server_.functionNode(r.prev_owner), 64,
                     r.bytes_transferred + 64);
             }
+            telemetry::SpanId sync_span = telemetry::kNoSpan;
+            if (auto *t = tracer()) {
+                sync_span = t->begin("sync.volatile",
+                                     telemetry::Phase::Sync,
+                                     server_.track(), exec_span_,
+                                     tctx_.request);
+            }
             interp_.grantVolatile(obj);
-            server_.sim().after(latency, [this] { pump(); });
+            server_.sim().after(latency, [this, sync_span] {
+                if (auto *t = tracer())
+                    t->end(sync_span);
+                pump();
+            });
             return;
           }
 
           case vm::Suspend::Kind::HeapFull: {
+            telemetry::SpanId gc_span = telemetry::kNoSpan;
+            if (auto *t = tracer()) {
+                gc_span = t->begin("gc.pause",
+                                   telemetry::Phase::Gc,
+                                   server_.track(), exec_span_,
+                                   tctx_.request);
+            }
             sim::SimTime pause = server_.runGc();
-            server_.sim().after(pause, [this] { pump(); });
+            server_.sim().after(pause, [this, gc_span] {
+                if (auto *t = tracer())
+                    t->end(gc_span);
+                pump();
+            });
             return;
           }
 
           case vm::Suspend::Kind::OffloadCall: {
             bh_assert(server_.offload_dispatch_,
                       "OffloadCall without an offload manager");
+            // The manager opens its flight span under this exec
+            // span via the ambient context (synchronous call).
+            telemetry::ScopedContext sc(
+                tracer(), {tctx_.request, exec_span_});
             server_.offload_dispatch_(
                 s.offload_method, s.offload_args,
                 [this](Value result) {
@@ -225,6 +279,19 @@ class BeeHiveServer::LocalInvocation
                 interp_.recordedStatics(),
                 interp_.stats().monitor_enters);
         }
+        if (auto *t = tracer()) {
+            const vm::InterpStats &is = interp_.stats();
+            telemetry::MetricsRegistry &m = t->metrics();
+            m.count("server.requests");
+            m.observe("vm.instructions_per_request",
+                      static_cast<double>(is.instructions));
+            m.count("vm.instructions", is.instructions);
+            m.count("vm.calls", is.calls);
+            m.count("vm.native_calls", is.native_calls);
+            m.count("vm.ic_hits", is.ic_hits);
+            m.count("vm.ic_misses", is.ic_misses);
+            t->end(exec_span_);
+        }
         DoneCb done = std::move(done_);
         BeeHiveServer &server = server_;
         server.active_.erase(this);
@@ -237,6 +304,8 @@ class BeeHiveServer::LocalInvocation
     vm::Interpreter interp_;
     vm::MethodId root_;
     DoneCb done_;
+    telemetry::Context tctx_;
+    telemetry::SpanId exec_span_ = telemetry::kNoSpan;
     bool recording_ = false;
     double total_cost_ = 0.0;
 };
@@ -342,6 +411,19 @@ BeeHiveServer::BeeHiveServer(sim::Simulation &sim, net::Network &net,
             table->forEachServerRef(visit);
         sync_.forEachServerRef(visit);
     });
+
+    // Telemetry wiring (all no-ops when the run has no tracer).
+    if (auto *t = sim_.tracer()) {
+        track_ = t->newTrack(
+            "server-" + std::to_string(machine_.endpoint()));
+        sync_.setTelemetry(t);
+        collector_->setObserver([t](const gc::GcCycleStats &c) {
+            telemetry::MetricsRegistry &m = t->metrics();
+            m.count("gc.cycles");
+            m.count("gc.bytes_copied", c.bytes_copied);
+            m.observe("gc.pause_ms", c.pause.toMillis());
+        });
+    }
 }
 
 void
@@ -354,24 +436,38 @@ BeeHiveServer::handleLocal(vm::MethodId root, std::vector<Value> args,
     // is already processing the outer request, so they bypass the
     // pool -- queueing them behind outer requests that are waiting
     // for exactly these dispatches would deadlock the pool.
+    telemetry::Context tctx;
+    if (auto *t = sim_.tracer())
+        tctx = t->current();
     if (!suppress_offload &&
         active_.size() >= config_.server_max_active) {
         // Thread pool exhausted: queue (bounded memory; queueing
         // latency is what overload looks like to clients).
+        telemetry::SpanId queue_span = telemetry::kNoSpan;
+        if (auto *t = sim_.tracer()) {
+            queue_span = t->begin("server.queue",
+                                  telemetry::Phase::Queue, track_,
+                                  tctx.span, tctx.request);
+            t->metrics().count("server.queued");
+        }
         queue_.push_back(QueuedRequest{root, std::move(args),
                                        std::move(done),
-                                       suppress_offload});
+                                       suppress_offload, tctx,
+                                       queue_span});
         return;
     }
-    launch(root, std::move(args), std::move(done), suppress_offload);
+    launch(root, std::move(args), std::move(done), suppress_offload,
+           tctx);
 }
 
 void
 BeeHiveServer::launch(vm::MethodId root, std::vector<Value> args,
-                      DoneCb done, bool suppress_offload)
+                      DoneCb done, bool suppress_offload,
+                      telemetry::Context tctx)
 {
-    auto *inv = new LocalInvocation(*this, root, std::move(args),
-                                    std::move(done), suppress_offload);
+    auto *inv =
+        new LocalInvocation(*this, root, std::move(args),
+                            std::move(done), suppress_offload, tctx);
     active_.insert(inv);
     inv->begin();
 }
@@ -383,8 +479,10 @@ BeeHiveServer::drainQueue()
            active_.size() < config_.server_max_active) {
         QueuedRequest req = std::move(queue_.front());
         queue_.pop_front();
+        if (auto *t = sim_.tracer())
+            t->end(req.queue_span);
         launch(req.root, std::move(req.args), std::move(req.done),
-               req.suppress_offload);
+               req.suppress_offload, req.tctx);
     }
 }
 

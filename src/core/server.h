@@ -33,6 +33,7 @@
 #include "proxy/connection_proxy.h"
 #include "sim/simulation.h"
 #include "snapshot/store.h"
+#include "telemetry/telemetry.h"
 #include "vm/context.h"
 #include "vm/interpreter.h"
 #include "vm/profiler.h"
@@ -91,6 +92,9 @@ class BeeHiveServer
 
     /** Snapshot store; null unless config.snapshot_enabled. */
     snapshot::SnapshotStore *snapshots() { return snapshots_.get(); }
+
+    /** Telemetry track of this server (0 when telemetry is off). */
+    uint32_t track() const { return track_; }
 
     /** Dynamic race oracle; null unless config.race_check. */
     vm::RaceOracle *raceOracle() { return race_oracle_.get(); }
@@ -193,11 +197,14 @@ class BeeHiveServer
         std::vector<vm::Value> args;
         DoneCb done;
         bool suppress_offload;
+        telemetry::Context tctx;
+        telemetry::SpanId queue_span = telemetry::kNoSpan;
     };
 
     /** Start one admitted request. */
     void launch(vm::MethodId root, std::vector<vm::Value> args,
-                DoneCb done, bool suppress_offload);
+                DoneCb done, bool suppress_offload,
+                telemetry::Context tctx);
     /** Admit queued requests as threads free up. */
     void drainQueue();
 
@@ -206,6 +213,7 @@ class BeeHiveServer
     OffloadDispatch offload_dispatch_;
     bool profiling_ = false;
     ServerStats stats_;
+    uint32_t track_ = 0;
 };
 
 /**

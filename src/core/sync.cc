@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "support/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace beehive::core {
 
@@ -312,6 +313,8 @@ SyncManager::acquireMonitor(uint16_t endpoint, const void *holder,
                                    std::move(grant)});
         return;
     }
+    if (telemetry_)
+        telemetry_->metrics().count("sync.monitor_contended");
     state.queue.push_back(
         Waiter{endpoint, holder, local, std::move(grant)});
 }
@@ -445,6 +448,13 @@ SyncManager::acquire(uint16_t endpoint, vm::Ref local)
     pullUpdates(endpoint, result);
 
     owners_[server_ref] = endpoint;
+    if (telemetry_) {
+        telemetry::MetricsRegistry &m = telemetry_->metrics();
+        m.count("sync.remote_acquires");
+        m.count("sync.objects_transferred",
+                result.objects_transferred);
+        m.count("sync.bytes_transferred", result.bytes_transferred);
+    }
     return result;
 }
 

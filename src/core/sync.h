@@ -34,6 +34,10 @@
 #include "vm/context.h"
 #include "vm/heap.h"
 
+namespace beehive::telemetry {
+class Tracer;
+}
+
 namespace beehive::core {
 
 /** Server-coordinated release-consistency synchronization. */
@@ -129,6 +133,10 @@ class SyncManager
     /** Total synchronizations performed. */
     uint64_t syncCount() const { return sync_count_; }
 
+    /** Install the telemetry tracer (live sync counters; null =
+     * off, the default, costing one branch per sync). */
+    void setTelemetry(telemetry::Tracer *t) { telemetry_ = t; }
+
     /**
      * GC integration for the server: visit every server-address the
      * manager holds (lock-owner keys, server dirty refs) so a moving
@@ -215,6 +223,7 @@ class SyncManager
     std::vector<vm::Ref> flush_log_;
     std::unordered_map<vm::Ref, std::size_t> latest_flush_;
     uint64_t sync_count_ = 0;
+    telemetry::Tracer *telemetry_ = nullptr;
 };
 
 } // namespace beehive::core

@@ -170,18 +170,17 @@ SemiSpaceCollector::collect()
     ++totals_.collections;
     totals_.objects_copied += cycle_.objects_copied;
     totals_.bytes_copied += cycle_.bytes_copied;
-    totals_.pause_ms.push_back(cycle_.pause.toMillis());
+    totals_.pause_ms.add(cycle_.pause.toMillis());
+    if (observer_)
+        observer_(cycle_);
     return cycle_;
 }
 
 double
 SemiSpaceCollector::medianPauseMs() const
 {
-    if (totals_.pause_ms.empty())
-        return NAN;
-    std::vector<double> sorted = totals_.pause_ms;
-    std::sort(sorted.begin(), sorted.end());
-    return sorted[sorted.size() / 2];
+    // Shared stats implementation (nearest-rank, sim/stats.h).
+    return totals_.pause_ms.median();
 }
 
 } // namespace beehive::gc

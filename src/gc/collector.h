@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "sim/sim_time.h"
+#include "sim/stats.h"
 #include "vm/heap.h"
 #include "vm/value.h"
 
@@ -59,7 +60,7 @@ struct GcTotals
     uint64_t collections = 0;
     uint64_t objects_copied = 0;
     uint64_t bytes_copied = 0;
-    std::vector<double> pause_ms; //!< per-cycle pauses (median stats)
+    sim::SampleSet pause_ms; //!< per-cycle pauses (median stats)
 };
 
 /** Cost model for the pause estimate. */
@@ -107,6 +108,14 @@ class SemiSpaceCollector
     /** Median pause across all cycles so far (ms; NaN when none). */
     double medianPauseMs() const;
 
+    /**
+     * Observe every completed cycle (telemetry hook). The collector
+     * stays free of any telemetry dependency; the owning runtime
+     * decides what to record. Null (the default) costs one branch.
+     */
+    using CycleObserver = std::function<void(const GcCycleStats &)>;
+    void setObserver(CycleObserver cb) { observer_ = std::move(cb); }
+
   private:
     /** Copy a from-space object to to-space (idempotent). */
     vm::Ref evacuate(vm::Ref ref);
@@ -119,6 +128,7 @@ class SemiSpaceCollector
     std::vector<ValueRootProvider> value_roots_;
     std::vector<RefRootProvider> ref_roots_;
     GcTotals totals_;
+    CycleObserver observer_;
 
     // Per-cycle working state.
     uint8_t from_space_ = 0;

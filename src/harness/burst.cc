@@ -6,6 +6,7 @@
 
 #include "snapshot/store.h"
 #include "support/logging.h"
+#include "telemetry/export.h"
 
 namespace beehive::harness {
 
@@ -269,6 +270,16 @@ runBurstExperiment(const BurstOptions &options)
                 scaler->accruedCost(bed.sim().now());
     } else {
         result.scaling_cost = scaler->accruedCost(bed.sim().now());
+    }
+
+    if (telemetry::Tracer *t = bed.tracer()) {
+        bed.harvestMetrics();
+        result.breakdown = telemetry::aggregateBreakdown(*t);
+        result.span_violations = telemetry::validateSpans(*t);
+        if (options.export_trace) {
+            result.trace_json = telemetry::toChromeTraceJson(
+                *t, options.trace_request);
+        }
     }
     return result;
 }

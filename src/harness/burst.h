@@ -19,6 +19,7 @@
 
 #include "core/offload.h"
 #include "harness/testbed.h"
+#include "telemetry/critical_path.h"
 
 namespace beehive::harness {
 
@@ -82,6 +83,12 @@ struct BurstOptions
     /** Offloading ratio applied at the burst. */
     double offload_ratio = 0.5;
 
+    /** Telemetry: serialize the run's span tree as Chrome trace
+     * JSON into BurstResult::trace_json (needs beehive.telemetry). */
+    bool export_trace = false;
+    /** Restrict the export to one request id (0 = all requests). */
+    uint64_t trace_request = 0;
+
     apps::FrameworkOptions framework;
     core::BeeHiveConfig beehive;
 };
@@ -121,6 +128,16 @@ struct BurstResult
     /** Qualified names of the roots in @ref traces (the program
      * dies with the testbed; names outlive it). */
     std::map<vm::MethodId, std::string> root_names;
+    /// @}
+
+    /** @name Telemetry (populated when beehive.telemetry is on) */
+    /// @{
+    /** Per-phase critical-path aggregate across client requests. */
+    telemetry::PhaseAggregate breakdown;
+    /** Chrome trace JSON (empty unless options.export_trace). */
+    std::string trace_json;
+    /** Span well-formedness violations (expected empty). */
+    std::vector<std::string> span_violations;
     /// @}
 };
 

@@ -155,4 +155,25 @@ printSnapshotChurn(const std::string &title,
                  u(churn.stale_prefetches)}});
 }
 
+void
+printPhaseBreakdown(const std::string &title,
+                    const telemetry::PhaseAggregate &agg)
+{
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t p = 0; p < telemetry::kPhaseCount; ++p) {
+        const sim::SampleSet &s = agg.phase_ms[p];
+        if (s.empty() || s.sum() == 0.0)
+            continue;
+        rows.push_back(
+            {telemetry::phaseName(static_cast<telemetry::Phase>(p)),
+             fmt(s.sum(), 1), fmt(s.mean(), 3)});
+    }
+    rows.push_back({"total", fmt(agg.total_ms.sum(), 1),
+                    fmt(agg.total_ms.mean(), 3)});
+    printTable(title + strprintf(" (%llu requests)",
+                                 static_cast<unsigned long long>(
+                                     agg.requests)),
+               {"phase", "total_ms", "mean_ms/request"}, rows);
+}
+
 } // namespace beehive::harness

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/trace.h"
+#include "telemetry/critical_path.h"
 #include "vm/program.h"
 
 namespace beehive::harness {
@@ -91,6 +92,17 @@ struct SnapshotChurn
 
 void printSnapshotChurn(const std::string &title,
                         const SnapshotChurn &churn);
+
+/**
+ * Print a critical-path phase aggregate: one row per phase with the
+ * total and per-request mean milliseconds of self-time attributed
+ * to it, plus a closing total row. The phase rows sum to the total
+ * (the analyzer attributes every nanosecond of a request's root
+ * span to exactly one phase), so the table reads as "where did the
+ * end-to-end latency go".
+ */
+void printPhaseBreakdown(const std::string &title,
+                         const telemetry::PhaseAggregate &agg);
 
 } // namespace beehive::harness
 

@@ -21,6 +21,11 @@ Testbed::Testbed(TestbedOptions options) : options_(options)
     VmCalibration vm_cal;
 
     sim_ = std::make_unique<sim::Simulation>(options_.seed);
+    if (options_.beehive.telemetry) {
+        tracer_ = std::make_unique<telemetry::Tracer>(
+            *sim_, options_.beehive.telemetry_span_capacity);
+        sim_->setTracer(tracer_.get());
+    }
     net_ = std::make_unique<net::Network>(options_.seed ^ 0x9e3779b9);
     net_->setZoneLatency("vpc", "vpc", net_cal.vpc_vpc);
     net_->setZoneLatency("vpc", "db", net_cal.vpc_db);
@@ -60,6 +65,8 @@ Testbed::Testbed(TestbedOptions options) : options_(options)
     db_machine_ = std::make_unique<cloud::Instance>(
         *sim_, *net_, cloud::m410XLarge(), "db-1", "db");
     proxy_ = std::make_unique<proxy::ConnectionProxy>(*store_);
+    if (tracer_)
+        proxy_->setTelemetry(tracer_.get());
 
     // The always-on server.
     core::BeeHiveConfig cfg = options_.beehive;
@@ -97,6 +104,43 @@ Testbed::Testbed(TestbedOptions options) : options_(options)
 }
 
 Testbed::~Testbed() = default;
+
+void
+Testbed::harvestMetrics()
+{
+    if (!tracer_)
+        return;
+    telemetry::MetricsRegistry &m = tracer_->metrics();
+    const sim::EventQueue &q = sim_->queue();
+    m.set("sim.events_scheduled", q.scheduled());
+    m.set("sim.events_dispatched", q.dispatched());
+    m.set("sim.events_cancelled", q.cancelled());
+    m.set("proxy.stat_requests_routed",
+          proxy_->stats().requests_routed);
+    m.set("proxy.stat_offload_requests",
+          proxy_->stats().offload_requests);
+    m.set("server.stat_local_requests",
+          server_->stats().local_requests);
+    m.set("server.stat_fallbacks_served",
+          server_->stats().fallbacks_served);
+    m.set("gc.server_cycles",
+          server_->collector().totals().collections);
+    if (platform_) {
+        m.set("faas.cold_boots", platform_->coldBoots());
+        m.set("faas.warm_boots", platform_->warmBoots());
+        m.set("faas.restore_boots", platform_->restoreBoots());
+        m.set("faas.instances", platform_->totalInstances());
+        m.set("faas.cache_expired", platform_->expired());
+    }
+    if (manager_) {
+        const core::OffloadStats &s = manager_->stats();
+        m.set("offload.stat_local", s.local);
+        m.set("offload.stat_offloaded", s.offloaded);
+        m.set("offload.stat_shadows", s.shadows);
+        m.set("offload.stat_restores", s.restores);
+        m.set("offload.stat_recoveries", s.recoveries);
+    }
+}
 
 workload::RequestSink
 Testbed::sink()

@@ -25,6 +25,7 @@
 #include "core/offload.h"
 #include "core/server.h"
 #include "harness/calibration.h"
+#include "telemetry/telemetry.h"
 #include "workload/clients.h"
 
 namespace beehive::harness {
@@ -89,6 +90,16 @@ class Testbed
     cloud::FaasPlatform *platform() { return platform_.get(); }
     cloud::Instance &serverMachine() { return *server_machine_; }
     const TestbedOptions &options() const { return options_; }
+
+    /** Span recorder; null unless config.telemetry. */
+    telemetry::Tracer *tracer() { return tracer_.get(); }
+
+    /**
+     * Fold harvested counters (event queue, FaaS boots, proxy
+     * routing, offload and server stats) into the tracer's metrics
+     * registry. No-op when telemetry is off.
+     */
+    void harvestMetrics();
     /// @}
 
     /** Request sink into the primary server (framework entry). */
@@ -118,6 +129,7 @@ class Testbed
   private:
     TestbedOptions options_;
     std::unique_ptr<sim::Simulation> sim_;
+    std::unique_ptr<telemetry::Tracer> tracer_;
     std::unique_ptr<net::Network> net_;
     std::unique_ptr<vm::Program> program_;
     std::unique_ptr<vm::NativeRegistry> natives_;

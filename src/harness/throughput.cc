@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.h"
+#include "telemetry/export.h"
 
 namespace beehive::harness {
 
@@ -83,6 +84,15 @@ runThroughputPoint(const ThroughputOptions &options,
         t0 + options.warmup, t0 + options.duration);
     point.mean_latency = recorder.latencies().mean();
     point.p99_latency = recorder.latencies().percentile(99);
+
+    if (telemetry::Tracer *t = bed.tracer()) {
+        bed.harvestMetrics();
+        point.breakdown = telemetry::aggregateBreakdown(*t);
+        if (options.export_trace) {
+            point.trace_json = telemetry::toChromeTraceJson(
+                *t, options.trace_request);
+        }
+    }
     return point;
 }
 

@@ -13,9 +13,11 @@
 #ifndef BEEHIVE_HARNESS_THROUGHPUT_H
 #define BEEHIVE_HARNESS_THROUGHPUT_H
 
+#include <string>
 #include <vector>
 
 #include "harness/testbed.h"
+#include "telemetry/critical_path.h"
 
 namespace beehive::harness {
 
@@ -37,6 +39,13 @@ struct ThroughputPoint
     double achieved_rps = 0.0;
     double mean_latency = 0.0; //!< seconds
     double p99_latency = 0.0;  //!< seconds
+
+    /** @name Telemetry (populated when beehive.telemetry is on) */
+    /// @{
+    telemetry::PhaseAggregate breakdown;
+    /** Chrome trace JSON (empty unless options.export_trace). */
+    std::string trace_json;
+    /// @}
 };
 
 /** Sweep parameters. */
@@ -52,6 +61,13 @@ struct ThroughputOptions
     double offload_ratio = -1.0;
     /** Concurrent-offload cap (function instances in flight). */
     std::size_t max_offloads = 160;
+
+    /** Telemetry: serialize the span tree of each point's run as
+     * Chrome trace JSON (needs beehive.telemetry). */
+    bool export_trace = false;
+    /** Restrict the export to one request id (0 = all requests). */
+    uint64_t trace_request = 0;
+
     apps::FrameworkOptions framework;
     core::BeeHiveConfig beehive;
 };

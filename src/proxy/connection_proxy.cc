@@ -1,8 +1,20 @@
 #include "proxy/connection_proxy.h"
 
 #include "support/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace beehive::proxy {
+
+namespace {
+
+void
+count(telemetry::Tracer *t, const char *name, uint64_t by = 1)
+{
+    if (t)
+        t->metrics().count(name, by);
+}
+
+} // namespace
 
 ConnId
 ConnectionProxy::openConnection(net::EndpointId server)
@@ -43,6 +55,7 @@ ConnectionProxy::prepare(ConnId conn)
     offloads_[id] =
         Descriptor{conn, conns_[conn].server, net::kNoEndpoint};
     ++stats_.prepares;
+    count(telemetry_, "proxy.prepares");
     return id;
 }
 
@@ -54,6 +67,7 @@ ConnectionProxy::attach(OffloadId id, net::EndpointId faas)
         return false;
     it->second.faas = faas;
     ++stats_.attaches;
+    count(telemetry_, "proxy.attaches");
     return true;
 }
 
@@ -71,6 +85,7 @@ ConnectionProxy::shadowBegin(net::EndpointId faas)
     ShadowToken token = next_shadow_++;
     shadows_.emplace(token, ShadowSession{});
     ++stats_.shadow_sessions;
+    count(telemetry_, "proxy.shadow_sessions");
     return token;
 }
 
@@ -81,6 +96,8 @@ ConnectionProxy::shadowEnd(ShadowToken token)
     if (it == shadows_.end())
         return;
     stats_.shadow_writes += it->second.interceptedWrites();
+    count(telemetry_, "proxy.shadow_writes",
+          it->second.interceptedWrites());
     shadows_.erase(it);
 }
 
@@ -95,6 +112,7 @@ ConnectionProxy::request(ConnId conn, const db::Request &req)
 {
     bh_assert(isOpen(conn), "request on closed connection");
     ++stats_.requests_routed;
+    count(telemetry_, "proxy.requests_routed");
     return store_.execute(req);
 }
 
@@ -108,6 +126,8 @@ ConnectionProxy::requestViaOffload(OffloadId id, const db::Request &req,
               "offload id was never attached");
     ++stats_.requests_routed;
     ++stats_.offload_requests;
+    count(telemetry_, "proxy.requests_routed");
+    count(telemetry_, "proxy.offload_requests");
     if (shadow) {
         auto sit = shadows_.find(*shadow);
         if (sit != shadows_.end())

@@ -30,6 +30,10 @@
 #include "proxy/shadow_session.h"
 #include "sim/stats.h"
 
+namespace beehive::telemetry {
+class Tracer;
+}
+
 namespace beehive::proxy {
 
 /** Handle for a server<->db connection managed by the proxy. */
@@ -143,6 +147,10 @@ class ConnectionProxy
 
     const Stats &stats() const { return stats_; }
 
+    /** Record live routing counters into @p t's metrics registry
+     * (null detaches; the proxy never opens spans itself). */
+    void setTelemetry(telemetry::Tracer *t) { telemetry_ = t; }
+
   private:
     struct Conn
     {
@@ -158,6 +166,7 @@ class ConnectionProxy
     OffloadId next_offload_ = 100;
     ShadowToken next_shadow_ = 1;
     Stats stats_;
+    telemetry::Tracer *telemetry_ = nullptr;
 };
 
 } // namespace beehive::proxy

@@ -42,6 +42,7 @@ EventQueue::schedule(SimTime when, Callback cb)
     heap_.push_back(HeapEntry{when, next_seq_++, idx, s.generation});
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
     ++pending_;
+    ++scheduled_;
     return makeId(idx, s.generation);
 }
 
@@ -60,6 +61,7 @@ EventQueue::cancel(EventId id)
     // reusable immediately.
     releaseSlot(idx);
     --pending_;
+    ++cancelled_;
     return true;
 }
 

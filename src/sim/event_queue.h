@@ -72,6 +72,12 @@ class EventQueue
     /** Number of events dispatched so far (for stats/tests). */
     uint64_t dispatched() const { return dispatched_; }
 
+    /** Number of events scheduled so far (for stats/telemetry). */
+    uint64_t scheduled() const { return scheduled_; }
+
+    /** Number of events cancelled before firing. */
+    uint64_t cancelled() const { return cancelled_; }
+
     /** Number of currently pending (not fired/cancelled) events. */
     std::size_t pending() const { return pending_; }
 
@@ -137,6 +143,8 @@ class EventQueue
     std::size_t pending_ = 0;
     uint64_t next_seq_ = 0;
     uint64_t dispatched_ = 0;
+    uint64_t scheduled_ = 0;
+    uint64_t cancelled_ = 0;
 };
 
 } // namespace beehive::sim

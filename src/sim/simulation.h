@@ -10,6 +10,10 @@
 #include "sim/sim_time.h"
 #include "support/rng.h"
 
+namespace beehive::telemetry {
+class Tracer;
+}
+
 namespace beehive::sim {
 
 /**
@@ -52,10 +56,20 @@ class Simulation
     /** Direct queue access (tests and advanced components). */
     EventQueue &queue() { return queue_; }
 
+    /**
+     * Per-run telemetry tracer, or nullptr (the default). Owned by
+     * whoever built the run (harness::Testbed); components check
+     * `if (auto *t = sim.tracer())` so the disabled path stays a
+     * single null test.
+     */
+    telemetry::Tracer *tracer() const { return tracer_; }
+    void setTracer(telemetry::Tracer *t) { tracer_ = t; }
+
   private:
     EventQueue queue_;
     SimTime now_;
     Rng rng_;
+    telemetry::Tracer *tracer_ = nullptr;
 };
 
 } // namespace beehive::sim

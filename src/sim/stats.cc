@@ -115,4 +115,32 @@ TimeSeries::bucketCount(std::size_t i) const
     return buckets_[i].count();
 }
 
+void
+TimedSamples::add(SimTime when, double value)
+{
+    points_.emplace_back(when, value);
+}
+
+std::size_t
+TimedSamples::countIn(SimTime from, SimTime to) const
+{
+    std::size_t n = 0;
+    for (const auto &[t, v] : points_) {
+        if (t >= from && t <= to)
+            ++n;
+    }
+    return n;
+}
+
+SampleSet
+TimedSamples::window(SimTime from, SimTime to) const
+{
+    SampleSet out;
+    for (const auto &[t, v] : points_) {
+        if (t >= from && t <= to)
+            out.add(v);
+    }
+    return out;
+}
+
 } // namespace beehive::sim

@@ -91,6 +91,34 @@ class TimeSeries
     std::vector<SampleSet> buckets_;
 };
 
+/**
+ * Timestamped samples with windowed queries.
+ *
+ * The one shared implementation behind every "count/percentile over
+ * [from, to]" computation in the harness and the telemetry layer
+ * (workload::Recorder used to hand-roll these loops). Window edges
+ * are inclusive on both ends.
+ */
+class TimedSamples
+{
+  public:
+    /** Record @p value at time @p when (times must not regress for
+     * windowed queries to be exact; the recorders append in
+     * completion order, which satisfies this). */
+    void add(SimTime when, double value);
+
+    std::size_t count() const { return points_.size(); }
+
+    /** Number of samples with timestamp in [from, to]. */
+    std::size_t countIn(SimTime from, SimTime to) const;
+
+    /** Samples with timestamp in [from, to] as a SampleSet. */
+    SampleSet window(SimTime from, SimTime to) const;
+
+  private:
+    std::vector<std::pair<SimTime, double>> points_;
+};
+
 /** Simple monotonically increasing counter. */
 class Counter
 {

@@ -1,0 +1,199 @@
+#include "telemetry/critical_path.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace beehive::telemetry {
+
+using sim::SimTime;
+
+SimTime
+PhaseBreakdown::sum() const
+{
+    SimTime s;
+    for (std::size_t i = 0; i < kPhaseCount; ++i)
+        s += by_phase[i];
+    return s;
+}
+
+std::vector<uint64_t>
+requestIds(const Tracer &t)
+{
+    std::set<uint64_t> ids;
+    for (const Span &s : t.spans()) {
+        if (s.request != 0)
+            ids.insert(s.request);
+    }
+    return {ids.begin(), ids.end()};
+}
+
+namespace {
+
+struct Tree
+{
+    std::unordered_map<SpanId, const Span *> by_id;
+    // Children in (start, id) order under each parent.
+    std::unordered_map<SpanId, std::vector<const Span *>> kids;
+    std::vector<const Span *> roots;
+    bool any_open = false;
+};
+
+Tree
+buildTree(const std::vector<Span> &spans, uint64_t request)
+{
+    Tree tree;
+    for (const Span &s : spans) {
+        if (s.request != request)
+            continue;
+        if (s.open)
+            tree.any_open = true;
+        tree.by_id[s.id] = &s;
+    }
+    for (auto &[id, s] : tree.by_id) {
+        // A span whose parent was dropped by ring wrap-around (or
+        // lives on another request, e.g. a shadow flight forked
+        // from a user request) is treated as a root.
+        if (s->parent != kNoSpan && tree.by_id.count(s->parent))
+            tree.kids[s->parent].push_back(s);
+        else
+            tree.roots.push_back(s);
+    }
+    auto order = [](const Span *a, const Span *b) {
+        return a->start != b->start ? a->start < b->start
+                                    : a->id < b->id;
+    };
+    for (auto &[id, v] : tree.kids)
+        std::sort(v.begin(), v.end(), order);
+    std::sort(tree.roots.begin(), tree.roots.end(), order);
+    return tree;
+}
+
+void
+foldSelfTimes(const Tree &tree, const Span &s, PhaseBreakdown &out)
+{
+    SimTime covered;
+    auto it = tree.kids.find(s.id);
+    if (it != tree.kids.end()) {
+        // Children are sorted by start; accumulate the length of
+        // the union of their intervals clipped to the parent.
+        SimTime frontier = s.start;
+        for (const Span *c : it->second) {
+            SimTime b = std::max(std::max(c->start, frontier),
+                                 s.start);
+            SimTime e = std::min(c->end, s.end);
+            if (e > b) {
+                covered += e - b;
+                frontier = e;
+            } else {
+                frontier = std::max(frontier, e);
+            }
+            foldSelfTimes(tree, *c, out);
+        }
+    }
+    SimTime self = s.duration() - covered;
+    if (self > SimTime())
+        out.by_phase[static_cast<std::size_t>(s.phase)] += self;
+}
+
+/** Analyze one request over a span snapshot that outlives the call
+ * (the tree holds pointers into it). */
+std::optional<PhaseBreakdown>
+analyzeOver(const std::vector<Span> &spans, uint64_t request)
+{
+    Tree tree = buildTree(spans, request);
+    if (tree.any_open || tree.roots.size() != 1)
+        return std::nullopt;
+    PhaseBreakdown out;
+    out.request = request;
+    out.root = tree.roots[0]->id;
+    out.total = tree.roots[0]->duration();
+    foldSelfTimes(tree, *tree.roots[0], out);
+    return out;
+}
+
+} // namespace
+
+std::optional<PhaseBreakdown>
+analyzeRequest(const Tracer &t, uint64_t request)
+{
+    std::vector<Span> spans = t.spans();
+    return analyzeOver(spans, request);
+}
+
+PhaseAggregate
+aggregateBreakdown(const Tracer &t)
+{
+    PhaseAggregate agg;
+    // One pass grouping spans per request (std::map: ascending
+    // request order keeps the SampleSets deterministic), then one
+    // tree per group -- not one full-slab scan per request.
+    std::map<uint64_t, std::vector<Span>> groups;
+    for (const Span &s : t.spans()) {
+        if (s.request != 0)
+            groups[s.request].push_back(s);
+    }
+    for (const auto &[req, group] : groups) {
+        auto b = analyzeOver(group, req);
+        if (!b)
+            continue;
+        ++agg.requests;
+        agg.total_ms.add(b->total.toMillis());
+        for (std::size_t i = 0; i < kPhaseCount; ++i)
+            agg.phase_ms[i].add(b->by_phase[i].toMillis());
+    }
+    return agg;
+}
+
+std::vector<std::string>
+validateSpans(const Tracer &t)
+{
+    std::vector<std::string> out;
+    std::vector<Span> spans = t.spans();
+    std::unordered_map<SpanId, const Span *> by_id;
+    for (const Span &s : spans)
+        by_id[s.id] = &s;
+
+    auto describe = [](const Span &s) {
+        return std::string(s.name) + "#" + std::to_string(s.id);
+    };
+
+    std::map<SpanId, std::vector<const Span *>> kids;
+    for (const Span &s : spans) {
+        if (s.open)
+            continue;
+        if (s.end < s.start)
+            out.push_back("negative duration: " + describe(s));
+        if (s.parent == kNoSpan)
+            continue;
+        auto pit = by_id.find(s.parent);
+        if (pit == by_id.end())
+            continue; // parent dropped by wrap-around: tolerated
+        const Span &p = *pit->second;
+        if (p.request != s.request)
+            out.push_back("cross-request child: " + describe(s) +
+                          " under " + describe(p));
+        if (!p.open && (s.start < p.start || s.end > p.end))
+            out.push_back("child escapes parent: " + describe(s) +
+                          " not within " + describe(p));
+        kids[s.parent].push_back(&s);
+    }
+    for (auto &[parent, v] : kids) {
+        std::sort(v.begin(), v.end(),
+                  [](const Span *a, const Span *b) {
+                      return a->start != b->start
+                                 ? a->start < b->start
+                                 : a->id < b->id;
+                  });
+        for (std::size_t i = 1; i < v.size(); ++i) {
+            if (v[i]->start < v[i - 1]->end)
+                out.push_back("overlapping siblings: " +
+                              describe(*v[i - 1]) + " and " +
+                              describe(*v[i]));
+        }
+    }
+    return out;
+}
+
+} // namespace beehive::telemetry

@@ -1,0 +1,102 @@
+#include "telemetry/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "support/logging.h"
+
+namespace beehive::telemetry {
+
+namespace {
+
+/** Escape for a JSON string literal (names are ASCII already). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toChromeTraceJson(const Tracer &t, uint64_t only_request)
+{
+    std::string out;
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    char buf[256];
+
+    const auto &tracks = t.tracks();
+    for (std::size_t i = 0; i < tracks.size(); ++i) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
+                      "\"name\":\"thread_name\",\"args\":{\"name\":"
+                      "\"%s\"}}",
+                      first ? "" : ",", i,
+                      jsonEscape(tracks[i]).c_str());
+        out += buf;
+        first = false;
+    }
+
+    for (const Span &s : t.spans()) {
+        if (s.open)
+            continue;
+        if (only_request != 0 && s.request != only_request)
+            continue;
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32
+            ",\"name\":\"%s\",\"cat\":\"%s\",\"ts\":%.3f,"
+            "\"dur\":%.3f,\"args\":{\"request\":%" PRIu64
+            ",\"span\":%" PRIu64 ",\"parent\":%" PRIu64 "}}",
+            first ? "" : ",", s.track, jsonEscape(s.name).c_str(),
+            phaseName(s.phase), s.start.toMicros(),
+            s.duration().toMicros(), s.request, s.id, s.parent);
+        out += buf;
+        first = false;
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+writeTraceFile(const std::string &json, const std::string &path)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        warn("telemetry: cannot open trace file '%s'", path.c_str());
+        return false;
+    }
+    f << json << "\n";
+    return static_cast<bool>(f);
+}
+
+bool
+writeChromeTrace(const Tracer &t, const std::string &path,
+                 uint64_t only_request)
+{
+    return writeTraceFile(toChromeTraceJson(t, only_request), path);
+}
+
+} // namespace beehive::telemetry

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter (Perfetto-loadable).
+ *
+ * Emits the classic trace-event format: one "M" thread_name
+ * metadata record per Tracer track (a synthetic thread per
+ * instance/endpoint/client pool) and one "X" complete event per
+ * closed span, with microsecond timestamps taken from simulated
+ * time. Span/request/parent ids ride in "args" so a trace can be
+ * joined back to the analyzer's output.
+ */
+
+#ifndef BEEHIVE_TELEMETRY_EXPORT_H
+#define BEEHIVE_TELEMETRY_EXPORT_H
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace beehive::telemetry {
+
+/**
+ * Serialize the tracer's surviving spans as Chrome trace JSON.
+ *
+ * @param only_request When non-zero, restrict the export to that
+ *        request's span tree (still includes all thread metadata).
+ */
+std::string toChromeTraceJson(const Tracer &t,
+                              uint64_t only_request = 0);
+
+/** Write toChromeTraceJson() to @p path. Returns false on I/O
+ * failure (logged). */
+bool writeChromeTrace(const Tracer &t, const std::string &path,
+                      uint64_t only_request = 0);
+
+/** Write an already-serialized trace to @p path. */
+bool writeTraceFile(const std::string &json,
+                    const std::string &path);
+
+} // namespace beehive::telemetry
+
+#endif // BEEHIVE_TELEMETRY_EXPORT_H

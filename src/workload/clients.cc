@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.h"
+#include "telemetry/telemetry.h"
 
 namespace beehive::workload {
 
@@ -16,7 +17,7 @@ Recorder::record(SimTime start, SimTime end)
     double seconds = (end - start).toSeconds();
     all_.add(seconds);
     series_.add(end, seconds);
-    timeline_.emplace_back(end, seconds);
+    timeline_.add(end, seconds);
     ++completed_;
 }
 
@@ -25,23 +26,14 @@ Recorder::throughput(SimTime from, SimTime to) const
 {
     if (to <= from)
         return 0.0;
-    uint64_t n = 0;
-    for (const auto &[t, latency] : timeline_) {
-        if (t >= from && t <= to)
-            ++n;
-    }
-    return static_cast<double>(n) / (to - from).toSeconds();
+    return static_cast<double>(timeline_.countIn(from, to)) /
+           (to - from).toSeconds();
 }
 
 double
 Recorder::windowPercentile(SimTime from, SimTime to, double p) const
 {
-    sim::SampleSet window;
-    for (const auto &[t, latency] : timeline_) {
-        if (t >= from && t <= to)
-            window.add(latency);
-    }
-    return window.percentile(p);
+    return timeline_.window(from, to).percentile(p);
 }
 
 ClosedLoopClients::ClosedLoopClients(sim::Simulation &sim,
@@ -76,7 +68,20 @@ ClosedLoopClients::clientLoop(SimTime until)
         return;
     }
     SimTime start = sim_.now();
-    sink_(next_id_++, [this, start, until] {
+    telemetry::Tracer *t = sim_.tracer();
+    uint64_t req = 0;
+    telemetry::SpanId root = telemetry::kNoSpan;
+    if (t) {
+        req = t->newRequest();
+        root = t->begin("request", telemetry::Phase::Request,
+                        t->clientsTrack(), telemetry::kNoSpan, req);
+    }
+    // The sink call is synchronous; everything it starts parents
+    // under this request's root span via the ambient context.
+    telemetry::ScopedContext tctx(t, {req, root});
+    sink_(next_id_++, [this, start, until, t, root] {
+        if (t)
+            t->end(root);
         recorder_.record(start, sim_.now());
         if (think_ > SimTime()) {
             sim_.after(think_, [this, until] { clientLoop(until); });
@@ -107,7 +112,18 @@ OpenLoopArrivals::scheduleNext(double rps, SimTime until)
     if (sim_.now() > until)
         return;
     SimTime start = sim_.now();
-    sink_(next_id_++, [this, start] {
+    telemetry::Tracer *t = sim_.tracer();
+    uint64_t req = 0;
+    telemetry::SpanId root = telemetry::kNoSpan;
+    if (t) {
+        req = t->newRequest();
+        root = t->begin("request", telemetry::Phase::Request,
+                        t->clientsTrack(), telemetry::kNoSpan, req);
+    }
+    telemetry::ScopedContext tctx(t, {req, root});
+    sink_(next_id_++, [this, start, t, root] {
+        if (t)
+            t->end(root);
         recorder_.record(start, sim_.now());
     });
     double gap_s = rng_.exponential(1.0 / rps);

@@ -61,7 +61,7 @@ class Recorder
   private:
     sim::SampleSet all_;
     sim::TimeSeries series_;
-    std::vector<std::pair<sim::SimTime, double>> timeline_;
+    sim::TimedSamples timeline_;
     uint64_t completed_ = 0;
     sim::SimTime cutoff_;
 };

@@ -67,7 +67,7 @@ TEST(Stress, HundredsOfRequestsOnTinyHeapsStayCorrect)
         auto fn = std::static_pointer_cast<core::BeeHiveFunction>(
             inst->runtime_state);
         fn_gcs += fn->collector().totals().collections;
-        for (double p : fn->collector().totals().pause_ms)
+        for (double p : fn->collector().totals().pause_ms.samples())
             max_pause_ms = std::max(max_pause_ms, p);
     }
     EXPECT_GT(fn_gcs, 10u);

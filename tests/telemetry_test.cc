@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Telemetry subsystem tests: span tree well-formedness, critical-path
+ * attribution (phases sum to end-to-end latency), Chrome trace-event
+ * export, thread-count determinism, zero perturbation of the
+ * simulation when enabled, and a cross-check of the span/metric
+ * counters against the independent RequestTrace accounting over a
+ * seeded workload range (the fuzz suites' seed-loop convention).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/burst.h"
+#include "harness/parallel.h"
+#include "harness/testbed.h"
+#include "telemetry/critical_path.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+#include "workload/clients.h"
+
+namespace beehive::telemetry {
+namespace {
+
+using harness::AppKind;
+using harness::BurstOptions;
+using harness::BurstResult;
+using harness::Solution;
+using sim::SimTime;
+
+std::size_t
+idx(Phase p)
+{
+    return static_cast<std::size_t>(p);
+}
+
+// -------------------------------------------------------------------
+// Minimal JSON syntax checker (no values retained). Enough to assert
+// the exporter emits strictly valid JSON without a parser dependency.
+// -------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text)
+        : p_(text.c_str()), end_(p_ + text.size())
+    {
+    }
+
+    bool
+    valid()
+    {
+        ws();
+        if (!value())
+            return false;
+        ws();
+        return p_ == end_;
+    }
+
+  private:
+    void
+    ws()
+    {
+        while (p_ < end_ &&
+               (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    lit(const char *s)
+    {
+        std::size_t n = std::strlen(s);
+        if (static_cast<std::size_t>(end_ - p_) < n ||
+            std::strncmp(p_, s, n) != 0)
+            return false;
+        p_ += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (p_ >= end_ || *p_ != '"')
+            return false;
+        ++p_;
+        while (p_ < end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ >= end_)
+                    return false;
+            }
+            ++p_;
+        }
+        if (p_ >= end_)
+            return false;
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const char *start = p_;
+        if (p_ < end_ && *p_ == '-')
+            ++p_;
+        while (p_ < end_ && std::isdigit(static_cast<unsigned char>(
+                                *p_)))
+            ++p_;
+        if (p_ < end_ && *p_ == '.') {
+            ++p_;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                ++p_;
+        }
+        if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+            ++p_;
+            if (p_ < end_ && (*p_ == '+' || *p_ == '-'))
+                ++p_;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                ++p_;
+        }
+        return p_ > start;
+    }
+
+    bool
+    value()
+    {
+        if (p_ >= end_)
+            return false;
+        switch (*p_) {
+          case '{': {
+            ++p_;
+            ws();
+            if (p_ < end_ && *p_ == '}') {
+                ++p_;
+                return true;
+            }
+            while (true) {
+                ws();
+                if (!string())
+                    return false;
+                ws();
+                if (p_ >= end_ || *p_ != ':')
+                    return false;
+                ++p_;
+                ws();
+                if (!value())
+                    return false;
+                ws();
+                if (p_ < end_ && *p_ == ',') {
+                    ++p_;
+                    continue;
+                }
+                break;
+            }
+            if (p_ >= end_ || *p_ != '}')
+                return false;
+            ++p_;
+            return true;
+          }
+          case '[': {
+            ++p_;
+            ws();
+            if (p_ < end_ && *p_ == ']') {
+                ++p_;
+                return true;
+            }
+            while (true) {
+                ws();
+                if (!value())
+                    return false;
+                ws();
+                if (p_ < end_ && *p_ == ',') {
+                    ++p_;
+                    continue;
+                }
+                break;
+            }
+            if (p_ >= end_ || *p_ != ']')
+                return false;
+            ++p_;
+            return true;
+          }
+          case '"': return string();
+          case 't': return lit("true");
+          case 'f': return lit("false");
+          case 'n': return lit("null");
+          default: return number();
+        }
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+// -------------------------------------------------------------------
+// Unit: span trees and critical-path attribution
+// -------------------------------------------------------------------
+
+TEST(TelemetryTest, CriticalPathSelfTimeSumsToRootDuration)
+{
+    sim::Simulation sim(1);
+    Tracer t(sim, 64);
+    uint64_t req = t.newRequest();
+
+    // request [0, 100ms] -> exec [10, 60] -> db [20, 30];
+    // request -> net [70, 90]. Self times: Request 30 ms, Exec 40,
+    // Db 10, Net 20.
+    SpanId root = kNoSpan, exec = kNoSpan, db = kNoSpan,
+           net = kNoSpan;
+    sim.at(SimTime::msec(0), [&] {
+        root = t.begin("request", Phase::Request, 0, kNoSpan, req);
+    });
+    sim.at(SimTime::msec(10), [&] {
+        exec = t.begin("exec", Phase::Exec, 0, root, req);
+    });
+    sim.at(SimTime::msec(20), [&] {
+        db = t.begin("db", Phase::Db, 0, exec, req);
+    });
+    sim.at(SimTime::msec(30), [&] { t.end(db); });
+    sim.at(SimTime::msec(60), [&] { t.end(exec); });
+    sim.at(SimTime::msec(70), [&] {
+        net = t.begin("net", Phase::Net, 0, root, req);
+    });
+    sim.at(SimTime::msec(90), [&] { t.end(net); });
+    sim.at(SimTime::msec(100), [&] { t.end(root); });
+    sim.runAll();
+
+    EXPECT_TRUE(validateSpans(t).empty());
+
+    auto b = analyzeRequest(t, req);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->total.ns(), SimTime::msec(100).ns());
+    EXPECT_EQ(b->sum().ns(), b->total.ns());
+    EXPECT_EQ(b->by_phase[idx(Phase::Request)].ns(),
+              SimTime::msec(30).ns());
+    EXPECT_EQ(b->by_phase[idx(Phase::Exec)].ns(),
+              SimTime::msec(40).ns());
+    EXPECT_EQ(b->by_phase[idx(Phase::Db)].ns(),
+              SimTime::msec(10).ns());
+    EXPECT_EQ(b->by_phase[idx(Phase::Net)].ns(),
+              SimTime::msec(20).ns());
+}
+
+TEST(TelemetryTest, ValidateSpansFlagsOverlappingSiblings)
+{
+    sim::Simulation sim(1);
+    Tracer t(sim, 64);
+    uint64_t req = t.newRequest();
+    SpanId root = kNoSpan, a = kNoSpan, b = kNoSpan;
+    sim.at(SimTime::msec(0), [&] {
+        root = t.begin("request", Phase::Request, 0, kNoSpan, req);
+    });
+    sim.at(SimTime::msec(10), [&] {
+        a = t.begin("a", Phase::Exec, 0, root, req);
+    });
+    sim.at(SimTime::msec(30), [&] {
+        b = t.begin("b", Phase::Db, 0, root, req); // overlaps a
+    });
+    sim.at(SimTime::msec(40), [&] { t.end(a); });
+    sim.at(SimTime::msec(50), [&] { t.end(b); });
+    sim.at(SimTime::msec(60), [&] { t.end(root); });
+    sim.runAll();
+
+    EXPECT_FALSE(validateSpans(t).empty());
+}
+
+TEST(TelemetryTest, RingBufferDropsOldestAndSurvivesStaleEnds)
+{
+    sim::Simulation sim(1);
+    Tracer t(sim, 4);
+    std::vector<SpanId> ids;
+    for (int i = 0; i < 10; ++i) {
+        sim.after(SimTime::msec(1), [&] {
+            ids.push_back(t.begin("s", Phase::Other, 0));
+        });
+        sim.runAll();
+    }
+    EXPECT_EQ(t.spansRecorded(), 10u);
+    EXPECT_GT(t.spansDropped(), 0u);
+    EXPECT_LE(t.spans().size(), 4u);
+    // Ending a recycled span must be a safe no-op.
+    for (SpanId id : ids)
+        t.end(id);
+    t.end(kNoSpan);
+    EXPECT_LE(t.spans().size(), 4u);
+}
+
+TEST(TelemetryTest, MetricsRegistryCountersAndHistograms)
+{
+    sim::Simulation sim(1);
+    Tracer t(sim, 8);
+    MetricsRegistry &m = t.metrics();
+    EXPECT_EQ(m.counter("nope"), 0u);
+    m.count("a");
+    m.count("a", 2);
+    EXPECT_EQ(m.counter("a"), 3u);
+    m.set("a", 7);
+    EXPECT_EQ(m.counter("a"), 7u);
+    EXPECT_EQ(m.histogram("nope"), nullptr);
+    m.observe("h", 1.0);
+    m.observe("h", 3.0);
+    ASSERT_NE(m.histogram("h"), nullptr);
+    EXPECT_DOUBLE_EQ(m.histogram("h")->mean(), 2.0);
+}
+
+// -------------------------------------------------------------------
+// Integration: full runs
+// -------------------------------------------------------------------
+
+BurstOptions
+quickTelemetryBurst(uint64_t seed)
+{
+    BurstOptions opts;
+    opts.app = AppKind::Thumbnail;
+    opts.solution = Solution::BeeHiveO;
+    opts.seed = seed;
+    opts.duration = SimTime::sec(24);
+    opts.burst_at = SimTime::sec(8);
+    opts.beehive.telemetry = true;
+    return opts;
+}
+
+TEST(TelemetryTest, BurstSpansWellFormedAndExporterEmitsValidJson)
+{
+    BurstOptions opts = quickTelemetryBurst(1);
+    opts.export_trace = true;
+    BurstResult r = runBurstExperiment(opts);
+    ASSERT_GT(r.completed_requests, 0u);
+    for (const std::string &v : r.span_violations)
+        ADD_FAILURE() << v;
+    EXPECT_GT(r.breakdown.requests, 0u);
+
+    ASSERT_FALSE(r.trace_json.empty());
+    EXPECT_TRUE(JsonChecker(r.trace_json).valid());
+    EXPECT_NE(r.trace_json.find("\"traceEvents\""),
+              std::string::npos);
+    EXPECT_NE(r.trace_json.find("thread_name"), std::string::npos);
+}
+
+TEST(TelemetryTest, EnablingTelemetryDoesNotPerturbTheSimulation)
+{
+    BurstOptions on = quickTelemetryBurst(1);
+    BurstOptions off = on;
+    off.beehive.telemetry = false;
+    BurstResult a = runBurstExperiment(on);
+    BurstResult b = runBurstExperiment(off);
+    ASSERT_GT(a.completed_requests, 0u);
+    EXPECT_EQ(a.completed_requests, b.completed_requests);
+    ASSERT_EQ(a.p99_per_second.size(), b.p99_per_second.size());
+    EXPECT_EQ(0, std::memcmp(a.p99_per_second.data(),
+                             b.p99_per_second.data(),
+                             a.p99_per_second.size() *
+                                 sizeof(double)));
+    EXPECT_EQ(a.scaling_cost, b.scaling_cost);
+    EXPECT_EQ(a.cold_boots, b.cold_boots);
+    // And the disabled run produced no telemetry at all.
+    EXPECT_EQ(b.breakdown.requests, 0u);
+    EXPECT_TRUE(b.trace_json.empty());
+}
+
+TEST(TelemetryTest, SerialAndParallelRunsExportIdenticalTraces)
+{
+    std::vector<BurstOptions> trials = {quickTelemetryBurst(1),
+                                        quickTelemetryBurst(2)};
+    for (BurstOptions &opts : trials)
+        opts.export_trace = true;
+    auto run = [&](std::size_t i) {
+        return runBurstExperiment(trials[i]);
+    };
+    std::vector<BurstResult> serial =
+        harness::runTrials(trials.size(), run, /*threads=*/1);
+    std::vector<BurstResult> parallel =
+        harness::runTrials(trials.size(), run, /*threads=*/4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_FALSE(serial[i].trace_json.empty());
+        EXPECT_EQ(serial[i].trace_json, parallel[i].trace_json);
+        EXPECT_EQ(serial[i].breakdown.requests,
+                  parallel[i].breakdown.requests);
+    }
+}
+
+/**
+ * Drive an offloading testbed directly so the tracer is still alive
+ * for per-request analysis, then cross-check the telemetry counters
+ * against the OffloadManager's independent RequestTrace accounting.
+ * Seed-loop convention as in the fuzz suites (tests/fuzz_support.h
+ * users): each seed is an independent randomized workload.
+ */
+TEST(TelemetryTest, CriticalPathAndRequestTraceCrossCheck)
+{
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        harness::TestbedOptions opts;
+        opts.app = AppKind::Thumbnail;
+        opts.seed = seed;
+        opts.beehive.telemetry = true;
+        harness::Testbed bed(opts);
+        ASSERT_TRUE(bed.runProfilingPhase()) << "seed " << seed;
+        bed.manager()->setOffloadRatio(0.6);
+
+        workload::Recorder recorder;
+        workload::ClosedLoopClients clients(bed.sim(), bed.sink(),
+                                            recorder);
+        clients.start(4, bed.sim().now());
+        bed.sim().runUntil(bed.sim().now() + SimTime::sec(16));
+        clients.stopAll();
+
+        Tracer *t = bed.tracer();
+        ASSERT_NE(t, nullptr);
+        MetricsRegistry &m = t->metrics();
+        // Drain until every offload flight completed (each opens
+        // one "offload.flights" and closes one "offload.completed").
+        for (int i = 0; i < 60 && m.counter("offload.flights") !=
+                                      m.counter("offload.completed");
+             ++i)
+            bed.sim().runUntil(bed.sim().now() + SimTime::sec(1));
+        ASSERT_EQ(m.counter("offload.flights"),
+                  m.counter("offload.completed"))
+            << "seed " << seed;
+        ASSERT_GT(m.counter("offload.completed"), 0u)
+            << "seed " << seed;
+
+        // Span tree is well formed and every completed request's
+        // phases sum exactly to its end-to-end duration.
+        for (const std::string &v : validateSpans(*t))
+            ADD_FAILURE() << "seed " << seed << ": " << v;
+        std::size_t analyzed = 0;
+        for (uint64_t req : requestIds(*t)) {
+            auto b = analyzeRequest(*t, req);
+            if (!b.has_value())
+                continue; // still open at run end
+            ++analyzed;
+            EXPECT_EQ(b->sum().ns(), b->total.ns())
+                << "seed " << seed << " request " << req;
+        }
+        EXPECT_GT(analyzed, 0u) << "seed " << seed;
+
+        // Counter cross-check against RequestTrace.
+        const auto &traces = bed.manager()->traces();
+        EXPECT_EQ(m.counter("offload.completed"), traces.size());
+        core::RequestTrace sum;
+        for (const auto &[root, trace] : traces)
+            sum.merge(trace);
+        EXPECT_EQ(m.counter("fallback.code"), sum.code_fetches)
+            << "seed " << seed;
+        EXPECT_EQ(m.counter("fallback.data"), sum.data_fetches)
+            << "seed " << seed;
+        EXPECT_EQ(m.counter("fallback.native"),
+                  sum.native_fallbacks)
+            << "seed " << seed;
+        EXPECT_EQ(m.counter("fallback.sync"), sum.sync_fallbacks)
+            << "seed " << seed;
+        EXPECT_EQ(m.counter("fallback.connection"),
+                  sum.connection_fallbacks)
+            << "seed " << seed;
+        EXPECT_EQ(m.counter("fn.db_ops"), sum.db_ops)
+            << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace beehive::telemetry
