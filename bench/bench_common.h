@@ -32,6 +32,12 @@ namespace beehive::bench {
  * trial's span tree as Chrome trace-event JSON (load the file at
  * ui.perfetto.dev); --trace-request ID restricts that export to a
  * single telemetry request id (0 = all requests).
+ *
+ * Chaos: `chaos=on` (default `chaos=off`) enables the deterministic
+ * fault-injection plane in benches that support it;
+ * --chaos-intensity X (default 0.25) scales the canonical storm
+ * plan's fault rates. With chaos off, no engine is constructed and
+ * bench output is byte-identical to a chaos-free build.
  */
 struct BenchArgs
 {
@@ -43,6 +49,8 @@ struct BenchArgs
     bool telemetry = false;
     std::string trace_out;      //!< empty = no trace export
     uint64_t trace_request = 0; //!< 0 = export all requests
+    bool chaos = false;
+    double chaos_intensity = 0.25; //!< FaultPlan::storm scale
 };
 
 inline BenchArgs
@@ -78,6 +86,13 @@ parseArgs(int argc, char **argv)
                    i + 1 < argc)
             args.trace_request =
                 std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "chaos=on") == 0)
+            args.chaos = true;
+        else if (std::strcmp(argv[i], "chaos=off") == 0)
+            args.chaos = false;
+        else if (std::strcmp(argv[i], "--chaos-intensity") == 0 &&
+                 i + 1 < argc)
+            args.chaos_intensity = std::strtod(argv[++i], nullptr);
     }
     return args;
 }

@@ -47,6 +47,10 @@ struct Analysis
     uint64_t restore_boots = 0;
     uint64_t cold_boots = 0;
     uint64_t manifests_synthesized = 0;
+
+    /** Failure handling (chaos=on runs only; zero otherwise). */
+    core::OffloadStats offload;
+    chaos::ChaosStats chaos;
 };
 
 Analysis
@@ -58,6 +62,18 @@ analyze(AppKind app, const BenchArgs &args,
     tb.seed = args.seed;
     tb.framework = benchFramework();
     tb.beehive.static_manifests = static_manifests;
+    if (args.chaos) {
+        // Failure columns: run the same drill under the storm plan
+        // with the recovery stack on. With chaos off this block is
+        // skipped entirely and the output stays byte-identical.
+        tb.chaos = chaos::FaultPlan::storm(args.chaos_intensity);
+        tb.chaos.blackhole = SimTime::sec(5);
+        tb.beehive.failure_recovery = true;
+        tb.beehive.offload_deadline = SimTime::sec(2);
+        tb.beehive.offload_max_retries = 6;
+        tb.beehive.retry_backoff_base = SimTime::msec(5);
+        tb.beehive.breaker_threshold = 3;
+    }
     Testbed bed(tb);
     if (!bed.runProfilingPhase())
         return {};
@@ -113,6 +129,9 @@ analyze(AppKind app, const BenchArgs &args,
     out.cold_boots = bed.platform()->coldBoots();
     if (auto *snaps = bed.server().snapshots())
         out.manifests_synthesized = snaps->manifestsSynthesized();
+    out.offload = bed.manager()->stats();
+    if (bed.chaosEngine())
+        out.chaos = bed.chaosEngine()->stats();
     return out;
 }
 
@@ -212,5 +231,42 @@ main(int argc, char **argv)
                "manifests, first boot)",
                {"Metric", "thumbnail", "pybbs", "blog", "paper"},
                static_rows);
+
+    // --- failure columns (chaos=on only, so the default output
+    // above stays byte-identical to a chaos-free run).
+    if (args.chaos) {
+        std::vector<std::vector<std::string>> chaos_rows = {
+            {"Faults injected",
+             std::to_string(a[0].chaos.total()),
+             std::to_string(a[1].chaos.total()),
+             std::to_string(a[2].chaos.total())},
+            {"Recoveries", std::to_string(a[0].offload.recoveries),
+             std::to_string(a[1].offload.recoveries),
+             std::to_string(a[2].offload.recoveries)},
+            {"Retries", std::to_string(a[0].offload.retries),
+             std::to_string(a[1].offload.retries),
+             std::to_string(a[2].offload.retries)},
+            {"Deadline expirations",
+             std::to_string(a[0].offload.deadline_expirations),
+             std::to_string(a[1].offload.deadline_expirations),
+             std::to_string(a[2].offload.deadline_expirations)},
+            {"Boot failures",
+             std::to_string(a[0].offload.boot_failures),
+             std::to_string(a[1].offload.boot_failures),
+             std::to_string(a[2].offload.boot_failures)},
+            {"Local fallbacks",
+             std::to_string(a[0].offload.local_fallbacks),
+             std::to_string(a[1].offload.local_fallbacks),
+             std::to_string(a[2].offload.local_fallbacks)},
+            {"Breaker ejections",
+             std::to_string(a[0].offload.breaker_ejections),
+             std::to_string(a[1].offload.breaker_ejections),
+             std::to_string(a[2].offload.breaker_ejections)},
+        };
+        printTable("Table 5 failure columns (chaos=on, intensity " +
+                       fmt(args.chaos_intensity, 2) + ")",
+                   {"Metric", "thumbnail", "pybbs", "blog"},
+                   chaos_rows);
+    }
     return 0;
 }

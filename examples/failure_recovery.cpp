@@ -42,13 +42,20 @@ main()
     bed.server().handleLocal(bed.app().entry(), {vm::Value::ofInt(2)},
                              [&](vm::Value) { done = true; });
 
-    // ...and kill the function while it runs.
+    // ...and kill the function while it runs. Wait until the
+    // invocation has passed a synchronization point: a kill before
+    // the first sync point recovers by re-executing from scratch
+    // (there is no snapshot of *this* request yet -- the leftover
+    // shadow snapshot belongs to the warm-up request and must not
+    // be resumed), while a kill after one resumes from the shipped
+    // stack, which is the Section 4.5 path this example shows.
     bool injected = false;
     for (int i = 0; i < 5000 && !injected && !done; ++i) {
         bed.sim().runUntil(bed.sim().now() + SimTime::msec(2));
-        injected = bed.manager()->injectFailure();
+        if (bed.manager()->snapshotAvailable())
+            injected = bed.manager()->injectFailure();
     }
-    std::printf("failure injected mid-invocation: %s\n",
+    std::printf("failure injected past a sync point: %s\n",
                 injected ? "yes" : "no (request finished first)");
 
     while (!done)

@@ -1,0 +1,187 @@
+#include "chaos/chaos.h"
+
+#include "sim/simulation.h"
+#include "support/logging.h"
+
+namespace beehive::chaos {
+
+FaultPlan
+FaultPlan::storm(double intensity)
+{
+    if (intensity < 0.0)
+        intensity = 0.0;
+    if (intensity > 1.0)
+        intensity = 1.0;
+    FaultPlan plan;
+    plan.enabled = intensity > 0.0;
+    // Rate ceilings chosen so that even at intensity 1.0 every fault
+    // class stays recoverable: retries terminate almost surely while
+    // each class still fires many times per bench run.
+    plan.net_drop = 0.02 * intensity;
+    plan.net_spike = 0.05 * intensity;
+    plan.net_spike_factor = 8.0;
+    plan.boot_crash = 0.10 * intensity;
+    plan.restore_crash = 0.10 * intensity;
+    plan.invoke_crash = 0.03 * intensity;
+    plan.throttle = 0.05 * intensity;
+    plan.db_reset = 0.02 * intensity;
+    plan.image_corrupt = 0.10 * intensity;
+    return plan;
+}
+
+ChaosEngine::ChaosEngine(sim::Simulation &sim, FaultPlan plan,
+                         uint64_t run_seed)
+    : sim_(sim), plan_(std::move(plan)),
+      rng_(Rng::stream(run_seed, kChaosStream))
+{
+}
+
+void
+ChaosEngine::arm()
+{
+    if (!plan_.enabled)
+        return;
+    for (const FaultEvent &ev : plan_.events) {
+        sim_.at(ev.at, [this, ev] { apply(ev); });
+    }
+}
+
+void
+ChaosEngine::apply(const FaultEvent &ev)
+{
+    switch (ev.kind) {
+    case FaultEvent::Kind::KillInvocation:
+        if (kill_) {
+            for (uint32_t i = 0; i < ev.count; ++i)
+                kill_();
+        }
+        break;
+    case FaultEvent::Kind::PartitionStart:
+        ++partition_depth_;
+        break;
+    case FaultEvent::Kind::PartitionEnd:
+        if (partition_depth_ > 0)
+            --partition_depth_;
+        break;
+    case FaultEvent::Kind::DbReset:
+        pending_db_resets_ += ev.count;
+        break;
+    case FaultEvent::Kind::CorruptImage:
+        pending_corruptions_ += ev.count;
+        break;
+    }
+}
+
+bool
+ChaosEngine::partitioned(const std::string &zone_a,
+                         const std::string &zone_b) const
+{
+    if (partition_depth_ <= 0)
+        return false;
+    if (plan_.partition_zone_a.empty() ||
+        plan_.partition_zone_b.empty())
+        return false;
+    return (zone_a == plan_.partition_zone_a &&
+            zone_b == plan_.partition_zone_b) ||
+           (zone_a == plan_.partition_zone_b &&
+            zone_b == plan_.partition_zone_a);
+}
+
+ChaosEngine::NetFault
+ChaosEngine::messageFault(const std::string &zone_from,
+                          const std::string &zone_to)
+{
+    bh_assert(plan_.enabled,
+              "chaos consulted while disabled (missing gate)");
+    NetFault fault;
+    if (partitioned(zone_from, zone_to)) {
+        ++stats_.partition_drops;
+        fault.drop = true;
+        return fault;
+    }
+    if (plan_.net_drop > 0.0 && rng_.chance(plan_.net_drop)) {
+        ++stats_.net_drops;
+        fault.drop = true;
+        return fault;
+    }
+    if (plan_.net_spike > 0.0 && rng_.chance(plan_.net_spike)) {
+        ++stats_.net_spikes;
+        fault.latency_factor = plan_.net_spike_factor;
+    }
+    return fault;
+}
+
+bool
+ChaosEngine::crashColdBoot()
+{
+    if (plan_.boot_crash > 0.0 && rng_.chance(plan_.boot_crash)) {
+        ++stats_.boot_crashes;
+        return true;
+    }
+    return false;
+}
+
+bool
+ChaosEngine::crashRestoreBoot()
+{
+    if (plan_.restore_crash > 0.0 &&
+        rng_.chance(plan_.restore_crash)) {
+        ++stats_.restore_crashes;
+        return true;
+    }
+    return false;
+}
+
+bool
+ChaosEngine::throttleAcquire()
+{
+    if (plan_.throttle > 0.0 && rng_.chance(plan_.throttle)) {
+        ++stats_.throttles;
+        return true;
+    }
+    return false;
+}
+
+bool
+ChaosEngine::crashInvocation()
+{
+    if (plan_.invoke_crash > 0.0 &&
+        rng_.chance(plan_.invoke_crash)) {
+        ++stats_.invoke_crashes;
+        return true;
+    }
+    return false;
+}
+
+bool
+ChaosEngine::resetDbConnection()
+{
+    if (pending_db_resets_ > 0) {
+        --pending_db_resets_;
+        ++stats_.db_resets;
+        return true;
+    }
+    if (plan_.db_reset > 0.0 && rng_.chance(plan_.db_reset)) {
+        ++stats_.db_resets;
+        return true;
+    }
+    return false;
+}
+
+bool
+ChaosEngine::corruptImage()
+{
+    if (pending_corruptions_ > 0) {
+        --pending_corruptions_;
+        ++stats_.image_corruptions;
+        return true;
+    }
+    if (plan_.image_corrupt > 0.0 &&
+        rng_.chance(plan_.image_corrupt)) {
+        ++stats_.image_corruptions;
+        return true;
+    }
+    return false;
+}
+
+} // namespace beehive::chaos

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Deterministic fault-injection plane.
+ *
+ * A FaultPlan describes which faults to inject -- probabilistic
+ * per-operation rates plus an optional schedule of timed events --
+ * and the ChaosEngine evaluates it against a dedicated, named RNG
+ * stream (Rng::stream) so that enabling injection never perturbs the
+ * workload, network-jitter, or boot-jitter streams. Every injection
+ * site in the stack is a single `engine && engine->enabled()` check:
+ * with the plan disabled (the default) no chaos code runs, no RNG is
+ * drawn, and all experiment output is byte-identical to a tree
+ * without the subsystem.
+ *
+ * Fault classes (Section 4.5 failure model, plus the churn/partition
+ * behaviour ephemeral-FaaS platforms exhibit in practice):
+ *  - network: message drop (modeled as blackhole latency so the
+ *    deadline machinery rescues the flight), latency spikes, and
+ *    timed zone partitions;
+ *  - instance: crash mid-cold-boot, crash mid-restore, crash
+ *    mid-invocation, and capacity throttling at acquire;
+ *  - database: connection resets observed by the sync/DB layer;
+ *  - snapshot: image corruption caught by checksum verification at
+ *    restore planning time.
+ */
+
+#ifndef BEEHIVE_CHAOS_CHAOS_H
+#define BEEHIVE_CHAOS_CHAOS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+#include "support/rng.h"
+
+namespace beehive::sim {
+class Simulation;
+}
+
+namespace beehive::chaos {
+
+/** One scheduled fault occurrence in a FaultPlan. */
+struct FaultEvent
+{
+    enum class Kind : uint8_t
+    {
+        KillInvocation, //!< kill up to @c count busy instances
+        PartitionStart, //!< open the plan's zone partition
+        PartitionEnd,   //!< heal the plan's zone partition
+        DbReset,        //!< arm @c count DB connection resets
+        CorruptImage,   //!< arm @c count snapshot corruptions
+    };
+
+    sim::SimTime at;
+    Kind kind = Kind::KillInvocation;
+    uint32_t count = 1;
+};
+
+/**
+ * Declarative description of the faults to inject. All rates are
+ * per-operation probabilities in [0, 1]; all default to zero so a
+ * default-constructed plan (even with @c enabled set) injects
+ * nothing.
+ */
+struct FaultPlan
+{
+    /** Master switch. Off = no hooks run, no RNG draws, output is
+     * byte-identical to a build without the chaos plane. */
+    bool enabled = false;
+
+    // -- network ----------------------------------------------------
+    double net_drop = 0.0;  //!< P(message silently dropped)
+    double net_spike = 0.0; //!< P(message hits a latency spike)
+    double net_spike_factor = 8.0; //!< latency multiplier on a spike
+
+    /** Latency assigned to a dropped message. Far beyond any
+     * deadline, so the loss surfaces as a timeout rather than as a
+     * lost callback (the simulation still completes the event). */
+    sim::SimTime blackhole = sim::SimTime::sec(300);
+
+    /** Zone pair cut by PartitionStart/PartitionEnd events
+     * (messages between them are dropped); empty = none. */
+    std::string partition_zone_a;
+    std::string partition_zone_b;
+
+    // -- FaaS instances ---------------------------------------------
+    double boot_crash = 0.0;    //!< P(cold boot crashes mid-boot)
+    double restore_crash = 0.0; //!< P(restore boot crashes mid-restore)
+    double invoke_crash = 0.0;  //!< P(instance dies mid-invocation)
+    /** Delay after dispatch at which a mid-invocation crash lands. */
+    sim::SimTime invoke_crash_delay = sim::SimTime::msec(2);
+    double throttle = 0.0; //!< P(acquire rejected: capacity throttle)
+
+    // -- database ----------------------------------------------------
+    double db_reset = 0.0; //!< P(connection reset on a DB operation)
+
+    // -- snapshot store ----------------------------------------------
+    double image_corrupt = 0.0; //!< P(stored image corrupted at plan)
+
+    /** Scheduled fault occurrences, applied at arm() time. */
+    std::vector<FaultEvent> events;
+
+    /**
+     * Canonical storm plan used by bench/fault_storm: every fault
+     * class active, rates scaled by @p intensity in [0, 1].
+     */
+    static FaultPlan storm(double intensity);
+};
+
+/** Counters of faults actually injected, per class. */
+struct ChaosStats
+{
+    uint64_t net_drops = 0;
+    uint64_t net_spikes = 0;
+    uint64_t partition_drops = 0;
+    uint64_t boot_crashes = 0;
+    uint64_t restore_crashes = 0;
+    uint64_t invoke_crashes = 0;
+    uint64_t throttles = 0;
+    uint64_t db_resets = 0;
+    uint64_t image_corruptions = 0;
+
+    uint64_t total() const
+    {
+        return net_drops + net_spikes + partition_drops +
+               boot_crashes + restore_crashes + invoke_crashes +
+               throttles + db_resets + image_corruptions;
+    }
+};
+
+/**
+ * Evaluates a FaultPlan deterministically. One engine serves a whole
+ * testbed; the subsystems (net, cloud, db hook, snapshot, offload)
+ * each hold a pointer and consult it at their injection sites. The
+ * engine draws only from its own named stream (stream id
+ * kChaosStream of the run seed), so two runs with the same seed and
+ * plan inject the identical fault sequence, and a run with the plan
+ * disabled draws nothing at all.
+ */
+class ChaosEngine
+{
+  public:
+    /** Stream id of the chaos RNG within a run seed's stream space. */
+    static constexpr uint64_t kChaosStream = 0xC4A05;
+
+    ChaosEngine(sim::Simulation &sim, FaultPlan plan,
+                uint64_t run_seed);
+
+    bool enabled() const { return plan_.enabled; }
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Schedule the plan's timed events. Call once, before run(). */
+    void arm();
+
+    /** Handler invoked (count times) per KillInvocation event. */
+    void setKillHandler(std::function<void()> kill)
+    {
+        kill_ = std::move(kill);
+    }
+
+    // -- network ----------------------------------------------------
+    struct NetFault
+    {
+        bool drop = false;
+        double latency_factor = 1.0;
+    };
+
+    /** Fault to apply to a message between two zones, if any. */
+    NetFault messageFault(const std::string &zone_from,
+                          const std::string &zone_to);
+
+    sim::SimTime blackholeLatency() const { return plan_.blackhole; }
+
+    // -- FaaS instances ---------------------------------------------
+    bool crashColdBoot();
+    bool crashRestoreBoot();
+    bool throttleAcquire();
+    bool crashInvocation();
+    sim::SimTime invocationCrashDelay() const
+    {
+        return plan_.invoke_crash_delay;
+    }
+
+    // -- database ----------------------------------------------------
+    bool resetDbConnection();
+
+    // -- snapshot store ----------------------------------------------
+    bool corruptImage();
+
+    const ChaosStats &stats() const { return stats_; }
+
+  private:
+    bool partitioned(const std::string &zone_a,
+                     const std::string &zone_b) const;
+    void apply(const FaultEvent &ev);
+
+    sim::Simulation &sim_;
+    FaultPlan plan_;
+    Rng rng_;
+    std::function<void()> kill_;
+    ChaosStats stats_;
+    /** Open partition count (events may nest). */
+    int partition_depth_ = 0;
+    /** Resets/corruptions armed by scheduled events, consumed by the
+     * next matching operation. */
+    uint64_t pending_db_resets_ = 0;
+    uint64_t pending_corruptions_ = 0;
+};
+
+} // namespace beehive::chaos
+
+#endif // BEEHIVE_CHAOS_CHAOS_H

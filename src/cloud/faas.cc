@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chaos/chaos.h"
 #include "support/logging.h"
 #include "telemetry/telemetry.h"
 
@@ -120,8 +121,17 @@ FaasPlatform::launch()
 }
 
 void
-FaasPlatform::acquire(AcquireCallback cb)
+FaasPlatform::acquire(AcquireCallback cb, FailCallback fail)
 {
+    // Boot faults are injected only for callers that can handle
+    // them (fail != nullptr): prewarm and the warm-pool benches
+    // keep their legacy always-succeeds contract.
+    if (fail && chaos_ && chaos_->enabled() &&
+        chaos_->throttleAcquire()) {
+        ++throttled_;
+        fail(BootFailure::Throttled);
+        return;
+    }
     ++invocations_;
     telemetry::Tracer *t = sim_.tracer();
     FunctionInstance *warm = findWarm();
@@ -161,23 +171,41 @@ FaasPlatform::acquire(AcquireCallback cb)
                         sim::SimTime::nsec(static_cast<int64_t>(
                             std::max(jitter, -0.5 * static_cast<double>(
                                 profile_.cold_boot_mean.ns()))));
+    bool crash = fail && chaos_ && chaos_->enabled() &&
+                 chaos_->crashColdBoot();
     telemetry::SpanId span = telemetry::kNoSpan;
     if (t) {
         span = t->beginUnder("boot.cold", telemetry::Phase::Boot,
                              fresh.track);
         t->metrics().observe("boot.cold_ms", boot.toMillis());
     }
-    sim_.after(boot, [this, &fresh, span, cb = std::move(cb)] {
+    sim_.after(boot, [this, &fresh, span, crash, cb = std::move(cb),
+                      fail = std::move(fail)] {
         if (telemetry::Tracer *t = sim_.tracer())
             t->end(span);
+        if (crash) {
+            // The boot time was spent, then the instance died
+            // before becoming ready.
+            ++boot_crashes_;
+            destroy(fresh);
+            fail(BootFailure::CrashMidBoot);
+            return;
+        }
         ++fresh.invocations;
         cb(fresh);
     });
 }
 
 void
-FaasPlatform::acquireRestore(uint64_t image_bytes, AcquireCallback cb)
+FaasPlatform::acquireRestore(uint64_t image_bytes, AcquireCallback cb,
+                             FailCallback fail)
 {
+    if (fail && chaos_ && chaos_->enabled() &&
+        chaos_->throttleAcquire()) {
+        ++throttled_;
+        fail(BootFailure::Throttled);
+        return;
+    }
     ++invocations_;
     ++restore_boots_;
     FunctionInstance &fresh = launch();
@@ -191,15 +219,24 @@ FaasPlatform::acquireRestore(uint64_t image_bytes, AcquireCallback cb)
     sim::SimTime boot =
         profile_.restore_boot_base +
         sim::SimTime::nsec(static_cast<int64_t>(transfer_sec * 1e9));
+    bool crash = fail && chaos_ && chaos_->enabled() &&
+                 chaos_->crashRestoreBoot();
     telemetry::SpanId span = telemetry::kNoSpan;
     if (telemetry::Tracer *t = sim_.tracer()) {
         span = t->beginUnder("boot.restore", telemetry::Phase::Boot,
                              fresh.track);
         t->metrics().observe("boot.restore_ms", boot.toMillis());
     }
-    sim_.after(boot, [this, &fresh, span, cb = std::move(cb)] {
+    sim_.after(boot, [this, &fresh, span, crash, cb = std::move(cb),
+                      fail = std::move(fail)] {
         if (telemetry::Tracer *t = sim_.tracer())
             t->end(span);
+        if (crash) {
+            ++boot_crashes_;
+            destroy(fresh);
+            fail(BootFailure::CrashMidRestore);
+            return;
+        }
         ++fresh.invocations;
         cb(fresh);
     });

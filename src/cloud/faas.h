@@ -30,6 +30,10 @@
 #include "net/network.h"
 #include "sim/simulation.h"
 
+namespace beehive::chaos {
+class ChaosEngine;
+}
+
 namespace beehive::cloud {
 
 /** Deployment-specific knobs of a FaaS platform. */
@@ -107,23 +111,41 @@ struct FunctionInstance
     uint32_t track = 0;
 };
 
+/** Why an acquire failed (fault injection; see chaos/chaos.h). */
+enum class BootFailure : uint8_t
+{
+    CrashMidBoot,    //!< cold boot crashed before becoming ready
+    CrashMidRestore, //!< restore boot crashed mid-restore
+    Throttled,       //!< platform rejected the acquire (capacity)
+};
+
 /** A FaaS platform with an instance cache. */
 class FaasPlatform
 {
   public:
     using AcquireCallback = std::function<void(FunctionInstance &)>;
+    /** Invoked instead of AcquireCallback when injection fails the
+     * boot. Callers that pass nullptr (the default) opt out of boot
+     * fault injection entirely -- their acquires never fail. */
+    using FailCallback = std::function<void(BootFailure)>;
 
     FaasPlatform(sim::Simulation &sim, net::Network &net,
                  FaasProfile profile);
 
     const FaasProfile &profile() const { return profile_; }
 
+    /** Attach the fault-injection engine (nullptr detaches). */
+    void setChaos(chaos::ChaosEngine *chaos) { chaos_ = chaos; }
+
     /**
      * Acquire an instance for one invocation. Prefers a cached warm
      * instance; otherwise launches a cold one. The callback fires
-     * after the boot delay with the instance marked in_use.
+     * after the boot delay with the instance marked in_use. With
+     * chaos armed and @p fail non-null, the acquire may instead be
+     * throttled (fail fires immediately) or crash mid-boot (the
+     * boot delay elapses, the instance is destroyed, fail fires).
      */
-    void acquire(AcquireCallback cb);
+    void acquire(AcquireCallback cb, FailCallback fail = nullptr);
 
     /**
      * Acquire a fresh instance through the *restore boot* path: the
@@ -131,8 +153,10 @@ class FaasPlatform
      * and boots from it, at profile().restore_boot_base plus the
      * image transfer time -- no cold-boot jitter draw. The caller
      * pre-installs the image's working set before dispatching.
+     * @p fail as in acquire().
      */
-    void acquireRestore(uint64_t image_bytes, AcquireCallback cb);
+    void acquireRestore(uint64_t image_bytes, AcquireCallback cb,
+                        FailCallback fail = nullptr);
 
     /**
      * Synchronously grab a cached warm instance, bypassing the
@@ -171,6 +195,10 @@ class FaasPlatform
     uint64_t expired() const { return expired_; }
     /** Idle instances whose billed memory was compacted. */
     uint64_t compactions() const { return compactions_; }
+    /** Acquires failed by injection (crash mid-boot/mid-restore). */
+    uint64_t bootCrashes() const { return boot_crashes_; }
+    /** Acquires rejected by injected capacity throttling. */
+    uint64_t throttled() const { return throttled_; }
 
     /** All instances ever launched (breakdown inspection). */
     const std::vector<std::unique_ptr<FunctionInstance>> &
@@ -210,11 +238,14 @@ class FaasPlatform
     uint64_t restore_boots_ = 0;
     uint64_t expired_ = 0;
     uint64_t compactions_ = 0;
+    uint64_t boot_crashes_ = 0;
+    uint64_t throttled_ = 0;
     uint64_t invocations_ = 0;
     double busy_gb_seconds_ = 0.0;
     double idle_gb_seconds_ = 0.0;
     std::map<const FunctionInstance *, sim::SimTime> busy_start_;
     Rng rng_;
+    chaos::ChaosEngine *chaos_ = nullptr;
 };
 
 } // namespace beehive::cloud

@@ -191,6 +191,71 @@ struct BeeHiveConfig
     std::size_t telemetry_span_capacity = 1u << 18;
 
     /**
+     * Per-offload invocation deadline (Section 4.5 hardening): a
+     * flight whose attempt has not completed within this window is
+     * failed and retried or re-executed locally. Zero (the default)
+     * disables the deadline machinery entirely -- no events are
+     * scheduled, so all prior experiment output stays byte-identical.
+     */
+    sim::SimTime offload_deadline;
+
+    /**
+     * Maximum retry attempts for a failed offload before falling
+     * back to local re-execution. Zero (the default) means
+     * *unlimited* retries, preserving the legacy failure_recovery
+     * behaviour where every killed invocation recovers.
+     */
+    uint32_t offload_max_retries = 0;
+
+    /**
+     * Base delay of the exponential retry backoff (doubled per
+     * attempt, capped by retry_backoff_max, jittered
+     * deterministically by retry_jitter). Zero (the default) retries
+     * synchronously, preserving the legacy recovery ordering.
+     */
+    sim::SimTime retry_backoff_base;
+
+    /** Ceiling of the exponential retry backoff. */
+    sim::SimTime retry_backoff_max = sim::SimTime::sec(2);
+
+    /** Fractional deterministic jitter applied to each backoff
+     * delay (derived via mix64, no RNG state consumed). */
+    double retry_jitter = 0.25;
+
+    /**
+     * Consecutive per-instance failures (deadline expiry, crash)
+     * before the circuit breaker ejects the instance instead of
+     * releasing it back to the warm pool. Zero (the default)
+     * disables the breaker.
+     */
+    uint32_t breaker_threshold = 0;
+
+    /**
+     * Automatically lower the effective offload ratio when the
+     * FaaS error rate spikes and restore it once flights complete
+     * cleanly again. Off by default: with it off the dispatch path
+     * performs no outcome bookkeeping and the offload coin flip is
+     * bitwise-identical to prior behaviour.
+     */
+    bool graceful_degradation = false;
+
+    /** Sliding window of flight outcomes the degradation policy
+     * evaluates. */
+    uint32_t degrade_window = 16;
+
+    /** Error rate within the window that triggers halving the
+     * offload ratio. */
+    double degrade_error_threshold = 0.5;
+
+    /** Floor of the degradation factor (never degrade below this
+     * fraction of the configured ratio). */
+    double degrade_floor = 0.05;
+
+    /** Base backoff before re-issuing a DB operation whose
+     * connection was reset (doubled per attempt, capped at 16x). */
+    sim::SimTime db_retry_backoff = sim::SimTime::usec(400);
+
+    /**
      * Let the lockset race detector (vm/race_analysis.h) widen
      * offload admission: monitor sites whose lock provably guards
      * no shared-written state stop demanding the cross-endpoint

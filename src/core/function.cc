@@ -1,5 +1,6 @@
 #include "core/function.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "support/logging.h"
@@ -18,10 +19,12 @@ class BeeHiveFunction::Invocation
 {
   public:
     Invocation(BeeHiveFunction &fn, vm::MethodId root, bool shadow,
-               DoneCb done)
+               DoneCb done, uint64_t request_key,
+               uint64_t start_write_seq)
         : fn_(fn), sim_(fn.server_.sim()), root_(root),
           shadow_(shadow), done_(std::move(done)),
-          interp_(*fn.ctx_)
+          interp_(*fn.ctx_), request_key_(request_key),
+          write_seq_(start_write_seq)
     {
         trace_.shadow = shadow;
         trace_.boot = fn.instance_.last_boot;
@@ -40,6 +43,10 @@ class BeeHiveFunction::Invocation
         // Dying (failure injection) or finishing must not leave
         // monitors held or wait-queue entries behind.
         fn_.server_.sync().abandonHolder(this);
+        // A shadow killed or cancelled mid-run must not leak its
+        // proxy overlay session (finish() clears the token).
+        if (shadow_token_ != 0)
+            fn_.server_.proxy().shadowAbort(shadow_token_);
     }
 
     vm::Interpreter &interp() { return interp_; }
@@ -408,6 +415,24 @@ class BeeHiveFunction::Invocation
     void
     handleDbCall(DbCallPayload payload)
     {
+        // Writes of a re-executable request carry a deterministic
+        // idempotency key: (request key, per-invocation write
+        // sequence). A retried execution regenerates the same keys
+        // in the same order, so the proxy's exactly-once guard
+        // suppresses every write a previous attempt already applied.
+        // Shadow writes land in an overlay and need no key.
+        uint64_t idem = 0;
+        bool is_write = payload.request.kind == db::OpKind::Put ||
+                        payload.request.kind == db::OpKind::Delete;
+        if (is_write && !shadow_ && request_key_ != 0)
+            idem = (request_key_ << 16) | (write_seq_++ & 0xffff);
+        issueDbCall(std::move(payload), idem, /*attempt=*/0);
+    }
+
+    void
+    issueDbCall(DbCallPayload payload, uint64_t idem,
+                uint32_t attempt)
+    {
         auto &server = fn_.server_;
         bool packed =
             payload.conn_ref != vm::kNullRef &&
@@ -431,7 +456,7 @@ class BeeHiveFunction::Invocation
             if (shadow_)
                 shadow = shadow_token_;
             resp = server.proxy().requestViaOffload(
-                token, payload.request, shadow);
+                token, payload.request, shadow, idem);
             latency = server.network().roundTrip(
                           fn_.node(), server.dbEndpoint(),
                           payload.request.wireSize(),
@@ -460,7 +485,7 @@ class BeeHiveFunction::Invocation
             }
             resp = server.proxy().request(
                 static_cast<proxy::ConnId>(conn_token),
-                payload.request);
+                payload.request, idem);
             latency = serverRtt(payload.request.wireSize(),
                                 resp.wireSize()) +
                       server.dbRoundTrip(payload.request, resp);
@@ -469,6 +494,35 @@ class BeeHiveFunction::Invocation
             countMetric("fallback.connection");
             server.countFallbackServed();
             sp = span("fallback.connection", telemetry::Phase::Db);
+        }
+
+        // Resets the proxy absorbed (transparent read re-issue)
+        // cost one reconnect each.
+        if (resp.resets > 0) {
+            trace_.db_resets += resp.resets;
+            latency += server.proxy().reconnectPenalty() *
+                       static_cast<double>(resp.resets);
+        }
+
+        if (resp.reset) {
+            // The connection dropped before the operation executed.
+            // Reconnect and re-issue with capped exponential backoff;
+            // the idempotency key (already drawn) keeps a write that
+            // somehow did land from applying twice.
+            ++trace_.db_resets;
+            countMetric("fn.db_resets");
+            sim::SimTime backoff =
+                server.config().db_retry_backoff *
+                static_cast<double>(1u << std::min(attempt, 4u));
+            sim::SimTime delay = latency +
+                                 server.proxy().reconnectPenalty() +
+                                 backoff;
+            after(delay, [this, payload = std::move(payload), idem,
+                          attempt, sp]() mutable {
+                endSpan(sp);
+                issueDbCall(std::move(payload), idem, attempt + 1);
+            });
+            return;
         }
 
         after(latency, [this, payload, resp, sp] {
@@ -550,13 +604,18 @@ class BeeHiveFunction::Invocation
         }
         fn_.snapshot_ = std::move(frames);
         fn_.snapshot_root_ = root_;
+        fn_.snapshot_write_seq_ = write_seq_;
+        fn_.snapshot_request_key_ = request_key_;
     }
 
     void
     finish(Value result)
     {
-        if (shadow_)
+        if (shadow_) {
             fn_.server_.proxy().shadowEnd(shadow_token_);
+            shadow_token_ = 0; // consumed; the destructor must not
+                               // abort a completed session
+        }
         Value server_result = copyResultToServer(
             result, *fn_.ctx_, fn_.server_.context(),
             fn_.server_.mappingFor(fn_.endpoint_id_));
@@ -593,6 +652,10 @@ class BeeHiveFunction::Invocation
     DoneCb done_;
     vm::Interpreter interp_;
     RequestTrace trace_;
+    /** Exactly-once identity of this request (0 = unkeyed). */
+    uint64_t request_key_ = 0;
+    /** Deterministic per-invocation write counter for idem keys. */
+    uint64_t write_seq_ = 0;
     proxy::ShadowToken shadow_token_ = 0;
     sim::SimTime started_at_;
     telemetry::Context tctx_;
@@ -697,26 +760,29 @@ BeeHiveFunction::install(const Closure &closure)
 void
 BeeHiveFunction::invoke(vm::MethodId root,
                         std::vector<Value> server_args, bool shadow,
-                        DoneCb done)
+                        DoneCb done, uint64_t request_key)
 {
     bh_assert(!invocation_, "function instance is single-request");
     bh_assert(!dead_, "invoke on dead function");
     std::vector<Value> local_args = copyArgsToFunction(
         server_args, server_.context(), *ctx_,
         server_.config().closure_data_depth);
-    invocation_ = std::make_shared<Invocation>(*this, root, shadow,
-                                               std::move(done));
+    invocation_ = std::make_shared<Invocation>(
+        *this, root, shadow, std::move(done), request_key,
+        /*start_write_seq=*/0);
     invocation_->start(std::move(local_args));
 }
 
 void
 BeeHiveFunction::resume(vm::MethodId root,
                         std::vector<vm::Frame> snapshot, bool shadow,
-                        DoneCb done)
+                        DoneCb done, uint64_t request_key,
+                        uint64_t start_write_seq)
 {
     bh_assert(!invocation_, "function instance is single-request");
-    invocation_ = std::make_shared<Invocation>(*this, root, shadow,
-                                               std::move(done));
+    invocation_ = std::make_shared<Invocation>(
+        *this, root, shadow, std::move(done), request_key,
+        start_write_seq);
     invocation_->startFromSnapshot(std::move(snapshot));
 }
 
@@ -724,6 +790,12 @@ void
 BeeHiveFunction::kill()
 {
     dead_ = true;
+    invocation_.reset();
+}
+
+void
+BeeHiveFunction::cancelInvocation()
+{
     invocation_.reset();
 }
 

@@ -85,9 +85,14 @@ class BeeHiveFunction
      *        copied into this function's heap.
      * @param shadow Run as a side-effect-free shadow execution.
      * @param done Completion callback (server-heap result + trace).
+     * @param request_key Nonzero marks a re-executable request: the
+     *        invocation keys its database writes with deterministic
+     *        idempotency keys derived from (request_key, write
+     *        sequence), so a retried execution never double-applies
+     *        a write that already reached the store.
      */
     void invoke(vm::MethodId root, std::vector<vm::Value> server_args,
-                bool shadow, DoneCb done);
+                bool shadow, DoneCb done, uint64_t request_key = 0);
 
     /**
      * Failure injection: the instance dies mid-invocation. The
@@ -96,6 +101,13 @@ class BeeHiveFunction
      */
     void kill();
 
+    /**
+     * Abort the pending invocation without condemning the instance
+     * (deadline expiry / circuit-breaker strike): the invocation's
+     * callback never fires, but the VM stays warm and reusable.
+     */
+    void cancelInvocation();
+
     /** Latest stack snapshot (server-translated), for recovery. */
     const std::vector<vm::Frame> &lastSnapshot() const
     {
@@ -103,12 +115,35 @@ class BeeHiveFunction
     }
     bool hasSnapshot() const { return !snapshot_.empty(); }
 
+    /** Root the stored snapshot belongs to (kNoMethod when none). */
+    vm::MethodId snapshotRoot() const { return snapshot_root_; }
+
+    /** Write-sequence position captured with the snapshot; a resume
+     * continues keying writes from here so idempotency keys line up
+     * with what the failed execution already applied. */
+    uint64_t snapshotWriteSeq() const { return snapshot_write_seq_; }
+
+    /**
+     * Request key of the invocation that captured the snapshot.
+     * A recovery must only resume from a snapshot taken by the very
+     * request it is recovering: the snapshot survives invocation
+     * completion, so without this tag a kill early in request B
+     * (before its first sync point) would resume B from request A's
+     * leftover stack -- completing with A's state and silently
+     * dropping the rest of B's work.
+     */
+    uint64_t snapshotRequestKey() const
+    {
+        return snapshot_request_key_;
+    }
+
     /**
      * Resume a failed invocation from @p snapshot (frames holding
      * remote-marked server addresses; data faults refill state).
      */
     void resume(vm::MethodId root, std::vector<vm::Frame> snapshot,
-                bool shadow, DoneCb done);
+                bool shadow, DoneCb done, uint64_t request_key = 0,
+                uint64_t start_write_seq = 0);
 
     /** Aggregated trace across all invocations on this function. */
     const RequestTrace &totalTrace() const { return total_trace_; }
@@ -145,6 +180,8 @@ class BeeHiveFunction
     std::shared_ptr<Invocation> invocation_;
     std::vector<vm::Frame> snapshot_;
     vm::MethodId snapshot_root_ = vm::kNoMethod;
+    uint64_t snapshot_write_seq_ = 0;
+    uint64_t snapshot_request_key_ = 0;
     RequestTrace total_trace_;
     uint64_t invocation_count_ = 0;
     bool dead_ = false;

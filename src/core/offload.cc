@@ -1,7 +1,9 @@
 #include "core/offload.h"
 
+#include <algorithm>
 #include <set>
 
+#include "chaos/chaos.h"
 #include "support/logging.h"
 #include "vm/reachability_analysis.h"
 
@@ -31,7 +33,8 @@ OffloadManager::OffloadManager(BeeHiveServer &server,
     // policy draws the offload decision per handler call, and the
     // dispatch hook routes the suspended call here.
     server_.context().setOffloadPolicy([this](vm::MethodId id) {
-        return ratio_ > 0.0 && isEnabled(id) && rng_.chance(ratio_);
+        return ratio_ > 0.0 && isEnabled(id) &&
+               rng_.chance(effectiveRatio());
     });
     server_.setOffloadDispatch(
         [this](vm::MethodId root, std::vector<Value> args,
@@ -202,7 +205,7 @@ OffloadManager::handleRequest(vm::MethodId root,
 {
     bool offloadable = isEnabled(root) && ratio_ > 0.0 &&
                        active_offloads_ < max_offloads_ &&
-                       rng_.chance(ratio_);
+                       rng_.chance(effectiveRatio());
     if (!offloadable) {
         ++stats_.local;
         server_.handleLocal(root, std::move(args), std::move(done));
@@ -279,6 +282,7 @@ OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
                      server_.track(), c.span, c.request);
         t->metrics().count("offload.flights");
     }
+    armDeadline(id);
 
     // Warm instances stay connected to the server: dispatching to
     // one is a message over that connection, not a platform invoke.
@@ -287,8 +291,10 @@ OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
         BeeHiveFunction &fn = functionOf(*warm);
         sim::SimTime dispatch = server_.network().oneWay(
             server_.endpoint(), fn.node(), 512);
-        server_.sim().after(dispatch, [this, id, warm] {
-            if (flights_.count(id))
+        uint32_t era = flight.attempts;
+        server_.sim().after(dispatch, [this, id, warm, era] {
+            auto it = flights_.find(id);
+            if (it != flights_.end() && it->second.attempts == era)
                 dispatchOn(*warm, id);
         });
         return;
@@ -302,14 +308,18 @@ OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
     if (server_.config().shadow_execution)
         shadowLocalLeg(flight, root);
 
-    auto booted = [this, id](cloud::FunctionInstance &inst) {
+    uint32_t era = flight.attempts;
+    auto booted = [this, id, era](cloud::FunctionInstance &inst) {
         auto it = flights_.find(id);
-        if (it == flights_.end()) {
+        if (it == flights_.end() || it->second.attempts != era) {
             platform_.release(inst);
             return;
         }
         it->second.instance = &inst;
         dispatchOn(inst, id);
+    };
+    auto boot_failed = [this, id, era](cloud::BootFailure why) {
+        onBootFailure(id, era, why);
     };
 
     // Restore path: a recorded snapshot image of this endpoint lets
@@ -325,15 +335,28 @@ OffloadManager::offload(vm::MethodId root, std::vector<Value> args,
     if (snaps && snaps->hasImage(root)) {
         flight.plan = snaps->planRestore(
             root, server_.collector().totals().collections);
+        if (flight.plan.corrupted) {
+            // The stored image failed checksum verification (the
+            // store already evicted it): fall back to a full cold
+            // boot; the endpoint records afresh.
+            ++stats_.corrupt_restores;
+            if (t)
+                t->metrics().count("offload.corrupt_restores");
+            flight.plan = snapshot::RestorePlan{};
+            platform_.acquire(std::move(booted),
+                              std::move(boot_failed));
+            return;
+        }
         flight.restore = true;
         ++stats_.restores;
         if (t)
             t->metrics().count("offload.restore_boots");
         platform_.acquireRestore(flight.plan.image_bytes,
-                                 std::move(booted));
+                                 std::move(booted),
+                                 std::move(boot_failed));
         return;
     }
-    platform_.acquire(std::move(booted));
+    platform_.acquire(std::move(booted), std::move(boot_failed));
 }
 
 void
@@ -352,11 +375,13 @@ OffloadManager::dispatchOn(cloud::FunctionInstance &inst,
             t->metrics().count("offload.warm_dispatches");
         telemetry::ScopedContext sc(
             t, {flight.trace_request, flight.span});
+        maybeScheduleInvokeCrash(flight_id);
         fn.invoke(root, flight.args, /*shadow=*/false,
                   [this, flight_id](Value result,
                                     const RequestTrace &trace) {
                       finishFlight(flight_id, result, trace);
-                  });
+                  },
+                  /*request_key=*/flight_id);
         return;
     }
 
@@ -436,10 +461,11 @@ OffloadManager::dispatchOn(cloud::FunctionInstance &inst,
         t->metrics().count("offload.closure_installs");
     }
 
+    uint32_t era = flight.attempts;
     server_.sim().after(transfer, [this, flight_id, &inst, root,
-                                   shadow, install_span] {
+                                   shadow, install_span, era] {
         auto it = flights_.find(flight_id);
-        if (it == flights_.end())
+        if (it == flights_.end() || it->second.attempts != era)
             return;
         telemetry::Tracer *t = server_.sim().tracer();
         if (t)
@@ -447,11 +473,13 @@ OffloadManager::dispatchOn(cloud::FunctionInstance &inst,
         BeeHiveFunction &fn = functionOf(inst);
         telemetry::ScopedContext sc(
             t, {it->second.trace_request, it->second.span});
+        maybeScheduleInvokeCrash(flight_id);
         fn.invoke(root, it->second.args, shadow,
                   [this, flight_id](Value result,
                                     const RequestTrace &trace) {
                       finishFlight(flight_id, result, trace);
-                  });
+                  },
+                  /*request_key=*/flight_id);
     });
 }
 
@@ -461,6 +489,7 @@ OffloadManager::finishFlight(uint64_t flight_id, Value result,
 {
     auto it = flights_.find(flight_id);
     bh_assert(it != flights_.end(), "unknown flight");
+    cancelDeadline(it->second);
     InFlight flight = std::move(it->second);
     flights_.erase(it);
     --active_offloads_;
@@ -469,8 +498,11 @@ OffloadManager::finishFlight(uint64_t flight_id, Value result,
         t->end(flight.span);
         t->metrics().count("offload.completed");
     }
-    if (flight.instance)
+    if (flight.instance) {
+        strikes_.erase(flight.instance);
         platform_.release(*flight.instance);
+    }
+    noteOutcome(true);
     flight.done(result);
 }
 
@@ -480,81 +512,391 @@ OffloadManager::injectFailure()
     for (auto &[id, flight] : flights_) {
         if (!flight.instance || !flight.instance->runtime_state)
             continue;
-        BeeHiveFunction &fn = functionOf(*flight.instance);
-        if (!fn.busy())
+        if (!functionOf(*flight.instance).busy())
             continue;
-        // Capture recovery state before tearing the instance down.
-        bool had_snapshot = server_.config().failure_recovery &&
-                            fn.hasSnapshot();
-        std::vector<vm::Frame> snapshot = fn.lastSnapshot();
-        fn.kill();
-        platform_.destroy(*flight.instance);
-        flight.instance = nullptr;
-        recover(id, std::move(snapshot), had_snapshot);
+        killFlight(id);
         return true;
     }
     return false;
 }
 
-void
-OffloadManager::recover(uint64_t flight_id,
-                        std::vector<vm::Frame> snapshot,
-                        bool had_snapshot)
+bool
+OffloadManager::snapshotAvailable()
 {
-    ++stats_.recoveries;
-    telemetry::Tracer *t = server_.sim().tracer();
-    telemetry::Context rctx;
-    if (auto fit = flights_.find(flight_id);
-        t && fit != flights_.end()) {
-        rctx = {fit->second.trace_request, fit->second.span};
-        t->metrics().count("offload.recoveries");
+    for (auto &[id, flight] : flights_) {
+        if (!flight.instance || !flight.instance->runtime_state)
+            continue;
+        BeeHiveFunction &fn = functionOf(*flight.instance);
+        if (fn.busy() && fn.hasSnapshot() &&
+            fn.snapshotRequestKey() == id)
+            return true;
     }
-    // Recovery boot parents under the flight span.
-    telemetry::ScopedContext sc(t, rctx);
-    platform_.acquire([this, flight_id, had_snapshot,
-                       snapshot = std::move(snapshot)](
-                          cloud::FunctionInstance &inst) mutable {
-        auto it = flights_.find(flight_id);
-        if (it == flights_.end()) {
-            platform_.release(inst);
-            return;
+    return false;
+}
+
+void
+OffloadManager::setChaos(chaos::ChaosEngine *chaos)
+{
+    chaos_ = chaos;
+    if (chaos_)
+        chaos_->setKillHandler([this] { injectFailure(); });
+}
+
+void
+OffloadManager::killFlight(uint64_t flight_id)
+{
+    auto it = flights_.find(flight_id);
+    bh_assert(it != flights_.end(), "killFlight on unknown flight");
+    InFlight &flight = it->second;
+    bh_assert(flight.instance && flight.instance->runtime_state,
+              "killFlight without a serving instance");
+    BeeHiveFunction &fn = functionOf(*flight.instance);
+    // Capture recovery state before tearing the instance down. Only
+    // a snapshot captured by THIS flight's own invocation may be
+    // resumed: the stored snapshot outlives invocations, and one
+    // left behind by an earlier request on the same instance would
+    // resume the wrong execution (dropping this request's remaining
+    // work, including its writes).
+    flight.had_snapshot = server_.config().failure_recovery &&
+                          fn.hasSnapshot() &&
+                          fn.snapshotRequestKey() == flight_id;
+    if (flight.had_snapshot) {
+        flight.snapshot = fn.lastSnapshot();
+        flight.snapshot_seq = fn.snapshotWriteSeq();
+    }
+    fn.kill();
+    strikes_.erase(flight.instance);
+    platform_.destroy(*flight.instance);
+    flight.instance = nullptr;
+    failFlight(flight_id, "offload.failures.kill");
+}
+
+void
+OffloadManager::failFlight(uint64_t flight_id, const char *why)
+{
+    auto it = flights_.find(flight_id);
+    if (it == flights_.end())
+        return;
+    InFlight &flight = it->second;
+    cancelDeadline(flight);
+    if (flight.instance) {
+        // The attempt is still formally in progress (deadline
+        // expiry): abort the invocation without condemning the
+        // instance, but refresh the recovery snapshot first.
+        if (flight.instance->runtime_state) {
+            BeeHiveFunction &fn = functionOf(*flight.instance);
+            if (server_.config().failure_recovery &&
+                fn.hasSnapshot() &&
+                fn.snapshotRequestKey() == flight_id) {
+                flight.had_snapshot = true;
+                flight.snapshot = fn.lastSnapshot();
+                flight.snapshot_seq = fn.snapshotWriteSeq();
+            }
+            fn.cancelInvocation();
         }
-        InFlight &flight = it->second;
-        flight.instance = &inst;
-        BeeHiveFunction &fn = functionOf(inst);
-        vm::MethodId root = flight.root;
-        const Closure &closure = closureFor(root);
-        InstallResult install = fn.install(closure);
-        sim::SimTime transfer = server_.network().oneWay(
-            server_.endpoint(), fn.node(), install.bytes);
-        server_.sim().after(
-            transfer,
-            [this, flight_id, &inst, root, had_snapshot,
-             snapshot = std::move(snapshot)]() mutable {
+        releaseFailedInstance(flight);
+        flight.instance = nullptr;
+    }
+    ++flight.attempts;
+    noteOutcome(false);
+    telemetry::Tracer *t = server_.sim().tracer();
+    if (t) {
+        t->metrics().count("offload.failures");
+        t->metrics().count(why);
+    }
+
+    uint32_t max_retries = server_.config().offload_max_retries;
+    if (max_retries != 0 && flight.attempts > max_retries) {
+        localFallback(flight_id);
+        return;
+    }
+
+    ++stats_.recoveries;
+    ++stats_.retries;
+    sim::SimTime delay = backoffDelay(flight_id, flight.attempts);
+    if (delay == sim::SimTime()) {
+        // No backoff configured: recover synchronously (the legacy
+        // injectFailure -> recover ordering).
+        retryAttempt(flight_id);
+        return;
+    }
+    telemetry::SpanId retry_span = telemetry::kNoSpan;
+    if (t) {
+        retry_span = t->begin("offload.retry",
+                              telemetry::Phase::Offload,
+                              server_.track(), flight.span,
+                              flight.trace_request);
+    }
+    uint32_t era = flight.attempts;
+    server_.sim().after(delay, [this, flight_id, era, retry_span] {
+        if (telemetry::Tracer *t = server_.sim().tracer())
+            t->end(retry_span);
+        auto it = flights_.find(flight_id);
+        if (it == flights_.end() || it->second.attempts != era)
+            return;
+        retryAttempt(flight_id);
+    });
+}
+
+void
+OffloadManager::retryAttempt(uint64_t flight_id)
+{
+    auto it = flights_.find(flight_id);
+    if (it == flights_.end())
+        return;
+    InFlight &flight = it->second;
+    uint32_t era = flight.attempts;
+    armDeadline(flight_id);
+    telemetry::Tracer *t = server_.sim().tracer();
+    if (t)
+        t->metrics().count("offload.recoveries");
+    // Recovery boot parents under the flight span.
+    telemetry::ScopedContext sc(t,
+                                {flight.trace_request, flight.span});
+    platform_.acquire(
+        [this, flight_id, era](cloud::FunctionInstance &inst) {
+            auto it = flights_.find(flight_id);
+            if (it == flights_.end() ||
+                it->second.attempts != era) {
+                platform_.release(inst);
+                return;
+            }
+            InFlight &flight = it->second;
+            flight.instance = &inst;
+            BeeHiveFunction &fn = functionOf(inst);
+            vm::MethodId root = flight.root;
+            const Closure &closure = closureFor(root);
+            InstallResult install = fn.install(closure);
+            sim::SimTime transfer = server_.network().oneWay(
+                server_.endpoint(), fn.node(), install.bytes);
+            server_.sim().after(transfer, [this, flight_id, &inst,
+                                           root, era] {
                 auto it = flights_.find(flight_id);
-                if (it == flights_.end())
+                if (it == flights_.end() ||
+                    it->second.attempts != era)
                     return;
+                InFlight &flight = it->second;
                 BeeHiveFunction &fn = functionOf(inst);
                 telemetry::ScopedContext sc(
                     server_.sim().tracer(),
-                    {it->second.trace_request, it->second.span});
+                    {flight.trace_request, flight.span});
                 auto done = [this, flight_id](
                                 Value result,
                                 const RequestTrace &trace) {
                     finishFlight(flight_id, result, trace);
                 };
-                if (had_snapshot) {
-                    // Resume from the last synchronization point.
+                maybeScheduleInvokeCrash(flight_id);
+                if (flight.had_snapshot) {
+                    // Resume from the last synchronization point;
+                    // the write sequence continues from the
+                    // snapshot so idempotency keys line up.
                     ++stats_.resumed_from_snapshot;
-                    fn.resume(root, std::move(snapshot),
-                              it->second.shadow, done);
+                    fn.resume(root, flight.snapshot, flight.shadow,
+                              done, /*request_key=*/flight_id,
+                              flight.snapshot_seq);
                 } else {
-                    // Full re-execution of the invocation.
-                    fn.invoke(root, it->second.args,
-                              it->second.shadow, done);
+                    // Full re-execution of the invocation; the
+                    // exactly-once guard suppresses writes the
+                    // failed attempt already applied.
+                    fn.invoke(root, flight.args, flight.shadow,
+                              done, /*request_key=*/flight_id);
                 }
             });
-    });
+        },
+        [this, flight_id, era](cloud::BootFailure why) {
+            onBootFailure(flight_id, era, why);
+        });
+}
+
+void
+OffloadManager::localFallback(uint64_t flight_id)
+{
+    auto it = flights_.find(flight_id);
+    if (it == flights_.end())
+        return;
+    InFlight flight = std::move(it->second);
+    flights_.erase(it);
+    --active_offloads_;
+    telemetry::Tracer *t = server_.sim().tracer();
+    if (flight.shadow) {
+        // The user was served by the local leg long ago; a shadow
+        // that exhausted its retry budget is simply abandoned.
+        ++stats_.shadows_abandoned;
+        if (t) {
+            t->end(flight.span);
+            t->metrics().count("offload.shadows_abandoned");
+        }
+        return;
+    }
+    // Graceful degradation of the individual request: serve it
+    // locally (offloading suppressed) so it is never dropped. The
+    // exactly-once keys suppress any writes a failed remote attempt
+    // already applied.
+    ++stats_.local_fallbacks;
+    ++stats_.local;
+    if (t)
+        t->metrics().count("offload.local_fallbacks");
+    DoneCb user_done = std::move(flight.done);
+    if (t && flight.span != telemetry::kNoSpan) {
+        telemetry::SpanId span = flight.span;
+        user_done = [t, span, inner = std::move(user_done)](Value v) {
+            t->end(span);
+            inner(v);
+        };
+    }
+    telemetry::ScopedContext sc(t,
+                                {flight.trace_request, flight.span});
+    server_.handleLocal(flight.root, std::move(flight.args),
+                        std::move(user_done),
+                        /*suppress_offload=*/true,
+                        /*request_key=*/flight_id);
+}
+
+void
+OffloadManager::onBootFailure(uint64_t flight_id, uint32_t era,
+                              cloud::BootFailure why)
+{
+    auto it = flights_.find(flight_id);
+    if (it == flights_.end() || it->second.attempts != era)
+        return;
+    ++stats_.boot_failures;
+    failFlight(flight_id,
+               why == cloud::BootFailure::Throttled
+                   ? "offload.failures.throttle"
+                   : "offload.failures.boot");
+}
+
+void
+OffloadManager::armDeadline(uint64_t flight_id)
+{
+    const BeeHiveConfig &cfg = server_.config();
+    if (cfg.offload_deadline == sim::SimTime())
+        return;
+    auto it = flights_.find(flight_id);
+    bh_assert(it != flights_.end(), "armDeadline on unknown flight");
+    InFlight &flight = it->second;
+    uint32_t era = flight.attempts;
+    flight.deadline_event = server_.sim().after(
+        cfg.offload_deadline, [this, flight_id, era] {
+            auto it = flights_.find(flight_id);
+            if (it == flights_.end() || it->second.attempts != era)
+                return;
+            it->second.deadline_armed = false;
+            ++stats_.deadline_expirations;
+            if (telemetry::Tracer *t = server_.sim().tracer())
+                t->metrics().count("offload.deadline_expirations");
+            failFlight(flight_id, "offload.failures.deadline");
+        });
+    flight.deadline_armed = true;
+}
+
+void
+OffloadManager::cancelDeadline(InFlight &flight)
+{
+    if (!flight.deadline_armed)
+        return;
+    server_.sim().cancel(flight.deadline_event);
+    flight.deadline_armed = false;
+}
+
+sim::SimTime
+OffloadManager::backoffDelay(uint64_t flight_id,
+                             uint32_t attempt) const
+{
+    const BeeHiveConfig &cfg = server_.config();
+    sim::SimTime delay = cfg.retry_backoff_base;
+    if (delay == sim::SimTime())
+        return delay;
+    for (uint32_t i = 1; i < attempt && delay < cfg.retry_backoff_max;
+         ++i)
+        delay = delay * 2.0;
+    if (cfg.retry_backoff_max < delay)
+        delay = cfg.retry_backoff_max;
+    // Deterministic jitter: a mix64-derived fraction of (flight,
+    // attempt) decorrelates retry storms without consuming any
+    // generator state.
+    double frac =
+        static_cast<double>(mix64(flight_id, attempt) >> 11) *
+        (1.0 / 9007199254740992.0);
+    return delay * (1.0 + cfg.retry_jitter * frac);
+}
+
+void
+OffloadManager::releaseFailedInstance(InFlight &flight)
+{
+    cloud::FunctionInstance *inst = flight.instance;
+    uint32_t threshold = server_.config().breaker_threshold;
+    if (threshold != 0 && ++strikes_[inst] >= threshold) {
+        // Struck out: eject the instance from the pool entirely
+        // instead of recycling a likely-unhealthy VM.
+        strikes_.erase(inst);
+        ++stats_.breaker_ejections;
+        if (telemetry::Tracer *t = server_.sim().tracer())
+            t->metrics().count("offload.breaker_ejections");
+        platform_.destroy(*inst);
+        return;
+    }
+    platform_.release(*inst);
+}
+
+void
+OffloadManager::noteOutcome(bool ok)
+{
+    const BeeHiveConfig &cfg = server_.config();
+    if (!cfg.graceful_degradation)
+        return;
+    outcome_window_.push_back(ok);
+    while (outcome_window_.size() > cfg.degrade_window)
+        outcome_window_.pop_front();
+    if (outcome_window_.size() < cfg.degrade_window)
+        return;
+    std::size_t errors = 0;
+    for (bool b : outcome_window_) {
+        if (!b)
+            ++errors;
+    }
+    double rate = static_cast<double>(errors) /
+                  static_cast<double>(outcome_window_.size());
+    telemetry::Tracer *t = server_.sim().tracer();
+    if (rate >= cfg.degrade_error_threshold) {
+        degrade_factor_ =
+            std::max(cfg.degrade_floor, degrade_factor_ * 0.5);
+        ++stats_.degradations;
+        outcome_window_.clear();
+        if (t)
+            t->metrics().count("offload.degradations");
+    } else if (errors == 0 && degrade_factor_ < 1.0) {
+        degrade_factor_ = std::min(1.0, degrade_factor_ * 2.0);
+        ++stats_.degrade_recoveries;
+        outcome_window_.clear();
+        if (t)
+            t->metrics().count("offload.degrade_recoveries");
+    }
+}
+
+void
+OffloadManager::maybeScheduleInvokeCrash(uint64_t flight_id)
+{
+    if (!chaos_ || !chaos_->enabled())
+        return;
+    if (!chaos_->crashInvocation())
+        return;
+    auto it = flights_.find(flight_id);
+    if (it == flights_.end())
+        return;
+    uint32_t era = it->second.attempts;
+    server_.sim().after(
+        chaos_->invocationCrashDelay(), [this, flight_id, era] {
+            auto it = flights_.find(flight_id);
+            if (it == flights_.end() || it->second.attempts != era)
+                return;
+            InFlight &flight = it->second;
+            if (!flight.instance || !flight.instance->runtime_state)
+                return;
+            if (!functionOf(*flight.instance).busy())
+                return;
+            killFlight(flight_id);
+        });
 }
 
 } // namespace beehive::core

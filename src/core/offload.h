@@ -20,11 +20,34 @@
  * snapshot their stack at each synchronization point; when an
  * instance is killed mid-invocation the manager reruns the request
  * on a fresh instance, resuming from the snapshot when one exists.
+ *
+ * End-to-end failure handling (the fault-injection plane rides on
+ * these mechanisms; all of them are off by default and
+ * byte-identical-off):
+ *
+ *   - per-flight invocation deadlines (config.offload_deadline):
+ *     an attempt that has not completed by the deadline is aborted
+ *     and retried or re-executed locally;
+ *   - bounded retries with capped exponential backoff and
+ *     deterministic jitter (config.offload_max_retries /
+ *     retry_backoff_*); exhausting the budget falls back to a
+ *     suppressed local execution, so no request is ever dropped;
+ *   - exactly-once: every offloaded attempt keys its database
+ *     writes with (flight id, write seq) idempotency keys, so a
+ *     retry or local fallback never double-applies a write;
+ *   - a per-instance circuit breaker (config.breaker_threshold):
+ *     instances accumulating failure strikes are ejected from the
+ *     pool instead of being recycled;
+ *   - graceful degradation (config.graceful_degradation): a
+ *     sliding window of attempt outcomes halves the effective
+ *     offload ratio on error-rate spikes and doubles it back on
+ *     clean windows.
  */
 
 #ifndef BEEHIVE_CORE_OFFLOAD_H
 #define BEEHIVE_CORE_OFFLOAD_H
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -37,6 +60,10 @@
 #include "telemetry/telemetry.h"
 #include "vm/offload_analysis.h"
 
+namespace beehive::chaos {
+class ChaosEngine;
+}
+
 namespace beehive::core {
 
 /** Aggregate offloading statistics. */
@@ -48,6 +75,18 @@ struct OffloadStats
     uint64_t restores = 0;      //!< restore boots taken from images
     uint64_t recoveries = 0;    //!< failure recoveries performed
     uint64_t resumed_from_snapshot = 0;
+    /** @name Failure handling (chaos / deadline / retry plane) */
+    /// @{
+    uint64_t retries = 0;           //!< attempts re-dispatched
+    uint64_t deadline_expirations = 0;
+    uint64_t boot_failures = 0;     //!< boot crashes + throttles
+    uint64_t local_fallbacks = 0;   //!< retries exhausted -> local
+    uint64_t shadows_abandoned = 0; //!< failed shadows not retried
+    uint64_t breaker_ejections = 0; //!< instances struck out
+    uint64_t degradations = 0;      //!< effective ratio halvings
+    uint64_t degrade_recoveries = 0;//!< ratio doublings back up
+    uint64_t corrupt_restores = 0;  //!< images failing checksum
+    /// @}
     /** @name Static offloadability of enabled roots (analysis) */
     /// @{
     uint64_t roots_offload_safe = 0;
@@ -79,6 +118,20 @@ class OffloadManager
     /** Set the fraction of requests sent to FaaS (0 disables). */
     void setOffloadRatio(double ratio);
     double offloadRatio() const { return ratio_; }
+
+    /**
+     * The ratio actually applied to offload decisions: the
+     * configured ratio scaled by the degradation factor. Bitwise
+     * equal to offloadRatio() while no degradation is active.
+     */
+    double effectiveRatio() const
+    {
+        return degrade_factor_ >= 1.0 ? ratio_
+                                      : ratio_ * degrade_factor_;
+    }
+
+    /** Current graceful-degradation factor in (0, 1]. */
+    double degradeFactor() const { return degrade_factor_; }
 
     /** Cap concurrent offloaded invocations (excess runs locally). */
     void setMaxConcurrentOffloads(std::size_t n) { max_offloads_ = n; }
@@ -123,6 +176,23 @@ class OffloadManager
      */
     bool injectFailure();
 
+    /**
+     * True when some in-flight invocation has passed a sync point
+     * and holds a snapshot it could be resumed from (i.e. a kill
+     * right now would recover by resume rather than by full
+     * re-execution). Failure-injection helpers use this to place a
+     * kill on the paper's Section 4.5 resume path deterministically.
+     */
+    bool snapshotAvailable();
+
+    /**
+     * Attach the fault-injection engine (nullptr detaches). The
+     * engine's scheduled KillInvocation events route through
+     * injectFailure(); probabilistic mid-invocation crashes are
+     * drawn at each dispatch.
+     */
+    void setChaos(chaos::ChaosEngine *chaos);
+
     const OffloadStats &stats() const { return stats_; }
 
     /** All completed traces as (root, trace) pairs (Table 5). */
@@ -161,6 +231,22 @@ class OffloadManager
          * pre-installed before the first dispatch. */
         bool restore = false;
         snapshot::RestorePlan plan;
+        /**
+         * Failed attempts so far. Doubles as the attempt *era*:
+         * every asynchronous continuation of an attempt captures
+         * the era it was dispatched under and bails out when the
+         * flight has since failed over to a newer attempt, so
+         * stale boot/transfer/crash callbacks can never dispatch
+         * on a flight that already moved on.
+         */
+        uint32_t attempts = 0;
+        /** Armed per-attempt deadline (cancelled on completion). */
+        sim::EventId deadline_event = 0;
+        bool deadline_armed = false;
+        /** Recovery state captured when the serving instance died. */
+        bool had_snapshot = false;
+        std::vector<vm::Frame> snapshot;
+        uint64_t snapshot_seq = 0;
         /** Telemetry: the request this flight records under and its
          * umbrella span. A shadow conversion re-roots both (the
          * shadow outlives the user request, so it gets its own
@@ -191,8 +277,52 @@ class OffloadManager
     void finishFlight(uint64_t flight_id, vm::Value result,
                       const RequestTrace &trace);
 
-    void recover(uint64_t flight_id, std::vector<vm::Frame> snapshot,
-                 bool had_snapshot);
+    /** @name Failure handling */
+    /// @{
+    /**
+     * Kill the instance serving @p flight_id mid-invocation
+     * (failure injection / chaos crash), capturing recovery state,
+     * then fail the attempt.
+     */
+    void killFlight(uint64_t flight_id);
+
+    /**
+     * One attempt of @p flight_id failed (deadline, boot failure,
+     * kill). Tears the attempt down, applies the circuit breaker
+     * and degradation bookkeeping, and either schedules a retry
+     * (after backoff) or falls back to local execution.
+     */
+    void failFlight(uint64_t flight_id, const char *why);
+
+    /** Re-dispatch a failed flight on a fresh instance. */
+    void retryAttempt(uint64_t flight_id);
+
+    /** Retry budget exhausted: serve the request locally (real
+     * flights) or abandon it (shadows). */
+    void localFallback(uint64_t flight_id);
+
+    void onBootFailure(uint64_t flight_id, uint32_t era,
+                       cloud::BootFailure why);
+
+    void armDeadline(uint64_t flight_id);
+    void cancelDeadline(InFlight &flight);
+
+    /** Backoff before retry attempt @p attempt: capped exponential
+     * with deterministic (mix64-derived) jitter. */
+    sim::SimTime backoffDelay(uint64_t flight_id,
+                              uint32_t attempt) const;
+
+    /** Circuit breaker: strike the failed instance; eject it at
+     * the threshold, otherwise recycle it into the warm pool. */
+    void releaseFailedInstance(InFlight &flight);
+
+    /** Feed the graceful-degradation window (no-op when off). */
+    void noteOutcome(bool ok);
+
+    /** Chaos: maybe schedule a mid-invocation crash of the attempt
+     * that is being dispatched right now. */
+    void maybeScheduleInvokeCrash(uint64_t flight_id);
+    /// @}
 
     BeeHiveServer &server_;
     cloud::FaasPlatform &platform_;
@@ -205,6 +335,12 @@ class OffloadManager
     OffloadStats stats_;
     std::vector<std::pair<vm::MethodId, RequestTrace>> traces_;
     Rng rng_;
+    chaos::ChaosEngine *chaos_ = nullptr;
+    /** Circuit breaker: failure strikes per live instance. */
+    std::map<cloud::FunctionInstance *, uint32_t> strikes_;
+    /** Graceful degradation: recent attempt outcomes + factor. */
+    std::deque<bool> outcome_window_;
+    double degrade_factor_ = 1.0;
 };
 
 } // namespace beehive::core

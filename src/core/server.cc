@@ -1,5 +1,7 @@
 #include "core/server.h"
 
+#include <algorithm>
+
 #include "support/logging.h"
 #include "support/strutil.h"
 #include "vm/analysis.h"
@@ -65,9 +67,11 @@ class BeeHiveServer::LocalInvocation
   public:
     LocalInvocation(BeeHiveServer &server, vm::MethodId root,
                     std::vector<Value> args, DoneCb done,
-                    bool suppress_offload, telemetry::Context tctx)
+                    bool suppress_offload, uint64_t request_key,
+                    telemetry::Context tctx)
         : server_(server), interp_(server.context()), root_(root),
-          done_(std::move(done)), tctx_(tctx)
+          done_(std::move(done)), request_key_(request_key),
+          tctx_(tctx)
     {
         interp_.setSuppressOffload(suppress_offload);
         if (server_.profiling()) {
@@ -126,35 +130,15 @@ class BeeHiveServer::LocalInvocation
 
           case vm::Suspend::Kind::External: {
             auto payload = std::any_cast<DbCallPayload>(s.external);
-            db::Response resp = server_.proxy().request(
-                static_cast<proxy::ConnId>(payload.conn_token),
-                payload.request);
-            sim::SimTime latency =
-                server_.dbRoundTrip(payload.request, resp);
-            telemetry::SpanId db_span = telemetry::kNoSpan;
-            if (auto *t = tracer()) {
-                db_span = t->begin("db.roundtrip",
-                                   telemetry::Phase::Db,
-                                   server_.track(), exec_span_,
-                                   tctx_.request);
-                t->metrics().count("db.ops");
-            }
-            server_.sim().after(latency, [this, payload, resp,
-                                          db_span] {
-                if (auto *t = tracer())
-                    t->end(db_span);
-                auto v = tryMaterializeDbResponse(
-                    server_.context(), payload.request, resp);
-                if (!v) {
-                    server_.runGc();
-                    v = tryMaterializeDbResponse(server_.context(),
-                                                 payload.request,
-                                                 resp);
-                }
-                bh_assert(v.has_value(), "server heap exhausted");
-                interp_.resumeExternal(*v);
-                pump();
-            });
+            // Re-executions of a failed offload key their writes so
+            // the proxy can suppress duplicates (exactly-once).
+            uint64_t idem = 0;
+            bool is_write =
+                payload.request.kind == db::OpKind::Put ||
+                payload.request.kind == db::OpKind::Delete;
+            if (is_write && request_key_ != 0)
+                idem = (request_key_ << 16) | (write_seq_++ & 0xffff);
+            issueDb(std::move(payload), idem, /*attempt=*/0);
             return;
           }
 
@@ -269,6 +253,63 @@ class BeeHiveServer::LocalInvocation
     }
 
     void
+    issueDb(DbCallPayload payload, uint64_t idem, uint32_t attempt)
+    {
+        db::Response resp = server_.proxy().request(
+            static_cast<proxy::ConnId>(payload.conn_token),
+            payload.request, idem);
+        sim::SimTime latency =
+            server_.dbRoundTrip(payload.request, resp);
+        // Resets the proxy absorbed (transparent read re-issue)
+        // cost one reconnect each.
+        if (resp.resets > 0) {
+            latency += server_.proxy().reconnectPenalty() *
+                       static_cast<double>(resp.resets);
+        }
+        telemetry::SpanId db_span = telemetry::kNoSpan;
+        if (auto *t = tracer()) {
+            db_span = t->begin("db.roundtrip", telemetry::Phase::Db,
+                               server_.track(), exec_span_,
+                               tctx_.request);
+            t->metrics().count("db.ops");
+        }
+        if (resp.reset) {
+            // The connection dropped before the operation executed:
+            // reconnect and re-issue with capped exponential backoff.
+            if (auto *t = tracer())
+                t->metrics().count("db.resets");
+            sim::SimTime backoff =
+                server_.config().db_retry_backoff *
+                static_cast<double>(1u << std::min(attempt, 4u));
+            sim::SimTime delay = latency +
+                                 server_.proxy().reconnectPenalty() +
+                                 backoff;
+            server_.sim().after(
+                delay, [this, payload = std::move(payload), idem,
+                        attempt, db_span]() mutable {
+                    if (auto *t = tracer())
+                        t->end(db_span);
+                    issueDb(std::move(payload), idem, attempt + 1);
+                });
+            return;
+        }
+        server_.sim().after(latency, [this, payload, resp, db_span] {
+            if (auto *t = tracer())
+                t->end(db_span);
+            auto v = tryMaterializeDbResponse(server_.context(),
+                                              payload.request, resp);
+            if (!v) {
+                server_.runGc();
+                v = tryMaterializeDbResponse(server_.context(),
+                                             payload.request, resp);
+            }
+            bh_assert(v.has_value(), "server heap exhausted");
+            interp_.resumeExternal(*v);
+            pump();
+        });
+    }
+
+    void
     finish(Value result)
     {
         // Safety net: a request must not exit holding monitors.
@@ -304,6 +345,10 @@ class BeeHiveServer::LocalInvocation
     vm::Interpreter interp_;
     vm::MethodId root_;
     DoneCb done_;
+    /** Exactly-once identity of this request (0 = unkeyed). */
+    uint64_t request_key_ = 0;
+    /** Deterministic write counter for idempotency keys. */
+    uint64_t write_seq_ = 0;
     telemetry::Context tctx_;
     telemetry::SpanId exec_span_ = telemetry::kNoSpan;
     bool recording_ = false;
@@ -428,7 +473,8 @@ BeeHiveServer::BeeHiveServer(sim::Simulation &sim, net::Network &net,
 
 void
 BeeHiveServer::handleLocal(vm::MethodId root, std::vector<Value> args,
-                           DoneCb done, bool suppress_offload)
+                           DoneCb done, bool suppress_offload,
+                           uint64_t request_key)
 {
     // Suppressed-offload executions are internal dispatches (the
     // local leg of a shadowed request, or an offload that fell back
@@ -452,22 +498,22 @@ BeeHiveServer::handleLocal(vm::MethodId root, std::vector<Value> args,
         }
         queue_.push_back(QueuedRequest{root, std::move(args),
                                        std::move(done),
-                                       suppress_offload, tctx,
-                                       queue_span});
+                                       suppress_offload, request_key,
+                                       tctx, queue_span});
         return;
     }
     launch(root, std::move(args), std::move(done), suppress_offload,
-           tctx);
+           request_key, tctx);
 }
 
 void
 BeeHiveServer::launch(vm::MethodId root, std::vector<Value> args,
                       DoneCb done, bool suppress_offload,
-                      telemetry::Context tctx)
+                      uint64_t request_key, telemetry::Context tctx)
 {
-    auto *inv =
-        new LocalInvocation(*this, root, std::move(args),
-                            std::move(done), suppress_offload, tctx);
+    auto *inv = new LocalInvocation(*this, root, std::move(args),
+                                    std::move(done), suppress_offload,
+                                    request_key, tctx);
     active_.insert(inv);
     inv->begin();
 }
@@ -482,7 +528,7 @@ BeeHiveServer::drainQueue()
         if (auto *t = sim_.tracer())
             t->end(req.queue_span);
         launch(req.root, std::move(req.args), std::move(req.done),
-               req.suppress_offload, req.tctx);
+               req.suppress_offload, req.request_key, req.tctx);
     }
 }
 

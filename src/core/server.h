@@ -109,9 +109,15 @@ class BeeHiveServer
      * @param suppress_offload Never redirect nested call sites to
      *        FaaS (vanilla baselines; the local leg of a shadowed
      *        request).
+     * @param request_key Nonzero marks a re-execution of a request
+     *        whose earlier (offloaded) attempt may already have
+     *        applied database writes: writes are keyed with the
+     *        same deterministic idempotency keys, so the proxy's
+     *        exactly-once guard suppresses duplicates.
      */
     void handleLocal(vm::MethodId root, std::vector<vm::Value> args,
-                     DoneCb done, bool suppress_offload = false);
+                     DoneCb done, bool suppress_offload = false,
+                     uint64_t request_key = 0);
 
     /**
      * Handler invoked when an interpreter suspends with an
@@ -197,6 +203,7 @@ class BeeHiveServer
         std::vector<vm::Value> args;
         DoneCb done;
         bool suppress_offload;
+        uint64_t request_key = 0;
         telemetry::Context tctx;
         telemetry::SpanId queue_span = telemetry::kNoSpan;
     };
@@ -204,7 +211,7 @@ class BeeHiveServer
     /** Start one admitted request. */
     void launch(vm::MethodId root, std::vector<vm::Value> args,
                 DoneCb done, bool suppress_offload,
-                telemetry::Context tctx);
+                uint64_t request_key, telemetry::Context tctx);
     /** Admit queued requests as threads free up. */
     void drainQueue();
 

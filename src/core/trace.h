@@ -51,6 +51,9 @@ struct RequestTrace
     /** Proxy-routed database operations (no fallback needed). */
     uint64_t db_ops = 0;
 
+    /** Injected connection resets absorbed by reconnect + retry. */
+    uint64_t db_resets = 0;
+
     /** End-to-end duration of the invocation on the function. */
     sim::SimTime duration;
     /** Wall time spent in fallback round trips. */
@@ -96,6 +99,7 @@ struct RequestTrace
         connection_fallbacks += o.connection_fallbacks;
         synchronized_objects += o.synchronized_objects;
         db_ops += o.db_ops;
+        db_resets += o.db_resets;
         prefetched_klasses += o.prefetched_klasses;
         prefetched_objects += o.prefetched_objects;
         stale_prefetches += o.stale_prefetches;

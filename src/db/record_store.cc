@@ -67,6 +67,13 @@ Response
 RecordStore::execute(const Request &req)
 {
     Response resp;
+    if (fault_hook_ && fault_hook_(req)) {
+        // The connection dropped before the operation reached the
+        // engine: nothing was applied, re-issuing is always safe.
+        ++resets_;
+        resp.reset = true;
+        return resp;
+    }
     auto tit = tables_.find(req.table);
     if (tit == tables_.end())
         return resp;
@@ -87,11 +94,15 @@ RecordStore::execute(const Request &req)
         table[req.key] = std::move(row);
         resp.count = 1;
         resp.ok = true;
+        if (write_observer_)
+            write_observer_(req);
         break;
       }
       case OpKind::Delete: {
         resp.count = static_cast<int64_t>(table.erase(req.key));
         resp.ok = true;
+        if (write_observer_)
+            write_observer_(req);
         break;
       }
       case OpKind::Scan: {

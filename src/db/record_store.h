@@ -15,6 +15,7 @@
 #define BEEHIVE_DB_RECORD_STORE_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -61,8 +62,15 @@ struct Request
 struct Response
 {
     bool ok = false;
+    /** Connection reset before the operation executed (fault
+     * injection): nothing was applied, the caller must reconnect
+     * and may safely re-issue the request. */
+    bool reset = false;
     std::vector<Row> rows;   //!< Get/Scan results.
     int64_t count = 0;       //!< Count result / rows affected.
+    /** Connection resets absorbed while serving this request
+     * (reconnect cost accounting; filled by the proxy layer). */
+    uint32_t resets = 0;
 
     uint64_t wireSize() const;
 };
@@ -109,10 +117,38 @@ class RecordStore
     /** Bulk-load helper used by workload setup. */
     void load(const std::string &table, const std::vector<Row> &rows);
 
+    /**
+     * Install a connection-fault hook consulted before each
+     * execute(): returning true resets the connection *before* the
+     * operation runs (no partial application; the response carries
+     * reset=true, ok=false). Used by the chaos plane; nullptr (the
+     * default) keeps execute() fault-free.
+     */
+    void setFaultHook(std::function<bool(const Request &)> hook)
+    {
+        fault_hook_ = std::move(hook);
+    }
+
+    /**
+     * Install an observer invoked after every *successfully applied*
+     * write (Put/Delete). Test instrumentation: the exactly-once
+     * suite counts applied writes per key through it.
+     */
+    void setWriteObserver(std::function<void(const Request &)> obs)
+    {
+        write_observer_ = std::move(obs);
+    }
+
+    /** Connection resets injected so far. */
+    uint64_t resets() const { return resets_; }
+
   private:
     using Table = std::map<int64_t, Row>;
 
     std::map<std::string, Table> tables_;
+    std::function<bool(const Request &)> fault_hook_;
+    std::function<void(const Request &)> write_observer_;
+    uint64_t resets_ = 0;
 };
 
 } // namespace beehive::db

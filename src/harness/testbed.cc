@@ -101,6 +101,25 @@ Testbed::Testbed(TestbedOptions options) : options_(options)
         manager_ = std::make_unique<core::OffloadManager>(
             *server_, *platform_);
     }
+
+    // Fault-injection plane (off by default: no engine, no hooks,
+    // byte-identical behaviour). Each subsystem holds a pointer to
+    // the one engine and consults it at its injection sites.
+    if (options_.chaos.enabled) {
+        chaos_ = std::make_unique<chaos::ChaosEngine>(
+            *sim_, options_.chaos, options_.seed);
+        net_->setChaos(chaos_.get());
+        store_->setFaultHook([this](const db::Request &) {
+            return chaos_->resetDbConnection();
+        });
+        if (platform_)
+            platform_->setChaos(chaos_.get());
+        if (server_->snapshots())
+            server_->snapshots()->setChaos(chaos_.get());
+        if (manager_)
+            manager_->setChaos(chaos_.get());
+        chaos_->arm();
+    }
 }
 
 Testbed::~Testbed() = default;
@@ -139,6 +158,32 @@ Testbed::harvestMetrics()
         m.set("offload.stat_shadows", s.shadows);
         m.set("offload.stat_restores", s.restores);
         m.set("offload.stat_recoveries", s.recoveries);
+        if (chaos_) {
+            m.set("offload.stat_retries", s.retries);
+            m.set("offload.stat_deadline_expirations",
+                  s.deadline_expirations);
+            m.set("offload.stat_boot_failures", s.boot_failures);
+            m.set("offload.stat_local_fallbacks", s.local_fallbacks);
+            m.set("offload.stat_shadows_abandoned",
+                  s.shadows_abandoned);
+            m.set("offload.stat_breaker_ejections",
+                  s.breaker_ejections);
+            m.set("offload.stat_degradations", s.degradations);
+            m.set("offload.stat_corrupt_restores", s.corrupt_restores);
+        }
+    }
+    if (chaos_) {
+        const chaos::ChaosStats &c = chaos_->stats();
+        m.set("chaos.net_drops", c.net_drops);
+        m.set("chaos.net_spikes", c.net_spikes);
+        m.set("chaos.partition_drops", c.partition_drops);
+        m.set("chaos.boot_crashes", c.boot_crashes);
+        m.set("chaos.restore_crashes", c.restore_crashes);
+        m.set("chaos.invoke_crashes", c.invoke_crashes);
+        m.set("chaos.throttles", c.throttles);
+        m.set("chaos.db_resets", c.db_resets);
+        m.set("chaos.image_corruptions", c.image_corruptions);
+        m.set("chaos.total", c.total());
     }
 }
 
@@ -176,6 +221,17 @@ Testbed::runProfilingPhase()
     }
     clients.stopAll();
     sim_->runUntil(sim_->now() + sim::SimTime::sec(2));
+    // Under fault injection a profiling request can stall well past
+    // the nominal drain (blackholed messages, retry chains); its
+    // completion callback would then fire into this function's dead
+    // locals. Keep draining until every client loop has unwound.
+    // Fault-free runs are already quiescent here, so this adds no
+    // simulated time and the phase stays byte-identical.
+    sim::SimTime drain_guard = sim_->now() + sim::SimTime::sec(600);
+    while (clients.active() > 0 && sim_->now() < drain_guard)
+        sim_->runUntil(sim_->now() + sim::SimTime::msec(250));
+    bh_assert(clients.active() == 0,
+              "profiling clients still active after drain");
 
     // Root selection: accumulated time large, average time not
     // short (Section 4.3's two heuristics).

@@ -20,6 +20,7 @@
 #include "apps/framework.h"
 #include "apps/pybbs.h"
 #include "apps/thumbnail.h"
+#include "chaos/chaos.h"
 #include "cloud/faas.h"
 #include "cloud/scaling.h"
 #include "core/offload.h"
@@ -65,6 +66,13 @@ struct TestbedOptions
      * (snapshot experiments use short windows so instance caches
      * actually expire within the simulated horizon). */
     sim::SimTime faas_keep_alive;
+
+    /**
+     * Fault-injection plan. Disabled by default: no engine is
+     * constructed, no hooks are attached, and the testbed behaves
+     * byte-identically to one built before the chaos plane existed.
+     */
+    chaos::FaultPlan chaos;
 };
 
 /** One assembled environment. */
@@ -88,6 +96,8 @@ class Testbed
     core::OffloadManager *manager() { return manager_.get(); }
     /** Null in vanilla mode. */
     cloud::FaasPlatform *platform() { return platform_.get(); }
+    /** Fault-injection engine; null unless options.chaos.enabled. */
+    chaos::ChaosEngine *chaosEngine() { return chaos_.get(); }
     cloud::Instance &serverMachine() { return *server_machine_; }
     const TestbedOptions &options() const { return options_; }
 
@@ -142,6 +152,7 @@ class Testbed
     std::unique_ptr<core::BeeHiveServer> server_;
     std::unique_ptr<cloud::FaasPlatform> platform_;
     std::unique_ptr<core::OffloadManager> manager_;
+    std::unique_ptr<chaos::ChaosEngine> chaos_;
     std::vector<std::unique_ptr<core::BeeHiveServer>> extra_servers_;
 };
 

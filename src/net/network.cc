@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chaos/chaos.h"
 #include "support/logging.h"
 
 namespace beehive::net {
@@ -91,6 +92,17 @@ Network::oneWay(EndpointId from, EndpointId to, uint64_t bytes)
         // Multiplicative jitter, never below 50% of nominal.
         double f = 1.0 + jitter_ * rng_.normal(0.0, 1.0);
         total *= std::max(0.5, f);
+    }
+    if (chaos_ && chaos_->enabled()) {
+        auto fault = chaos_->messageFault(nodes_[from].zone,
+                                          nodes_[to].zone);
+        // A drop is modeled as blackhole latency: the message
+        // "arrives" far past any deadline, so the loss surfaces as
+        // a timeout the recovery machinery handles, never as a
+        // silently lost simulation callback.
+        if (fault.drop)
+            return chaos_->blackholeLatency();
+        total *= fault.latency_factor;
     }
     return sim::SimTime::nsec(static_cast<int64_t>(total));
 }

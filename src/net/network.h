@@ -21,6 +21,10 @@
 #include "sim/sim_time.h"
 #include "support/rng.h"
 
+namespace beehive::chaos {
+class ChaosEngine;
+}
+
 namespace beehive::net {
 
 /** Opaque node handle. */
@@ -66,6 +70,13 @@ class Network
     void setJitter(double fraction);
 
     /**
+     * Attach the fault-injection engine (nullptr detaches). Chaos
+     * faults are consulted *after* the jitter draw, so the jitter
+     * stream advances identically whether or not chaos is enabled.
+     */
+    void setChaos(chaos::ChaosEngine *chaos) { chaos_ = chaos; }
+
+    /**
      * One-way delivery delay for a message of @p bytes.
      * Deterministic given the network's seeded jitter stream.
      */
@@ -95,6 +106,7 @@ class Network
     double bytes_per_sec_ = 1.25e9;
     double jitter_ = 0.05;
     Rng rng_;
+    chaos::ChaosEngine *chaos_ = nullptr;
 };
 
 } // namespace beehive::net

@@ -101,6 +101,15 @@ ConnectionProxy::shadowEnd(ShadowToken token)
     shadows_.erase(it);
 }
 
+void
+ConnectionProxy::shadowAbort(ShadowToken token)
+{
+    if (shadows_.erase(token) > 0) {
+        ++stats_.shadow_aborts;
+        count(telemetry_, "proxy.shadow_aborts");
+    }
+}
+
 bool
 ConnectionProxy::shadowActive(ShadowToken token) const
 {
@@ -108,17 +117,61 @@ ConnectionProxy::shadowActive(ShadowToken token) const
 }
 
 db::Response
-ConnectionProxy::request(ConnId conn, const db::Request &req)
+ConnectionProxy::route(const db::Request &req, uint64_t idem_key,
+                       ShadowSession *overlay)
+{
+    bool is_write = req.kind == db::OpKind::Put ||
+                    req.kind == db::OpKind::Delete;
+    if (is_write && idem_key != 0 && !overlay) {
+        auto dit = applied_.find(idem_key);
+        if (dit != applied_.end()) {
+            // A retried execution re-issued a write that already
+            // reached the store: replay the recorded response
+            // instead of double-applying it.
+            ++stats_.dup_writes_suppressed;
+            count(telemetry_, "proxy.dup_writes_suppressed");
+            return dit->second;
+        }
+    }
+    db::Response resp =
+        overlay ? overlay->apply(store_, req) : store_.execute(req);
+    if (resp.reset) {
+        ++stats_.connection_resets;
+        ++stats_.reconnects;
+        count(telemetry_, "proxy.connection_resets");
+        if (!is_write) {
+            // The reset landed before the read executed, so one
+            // transparent reconnect + re-issue is always safe.
+            ++stats_.read_retries;
+            count(telemetry_, "proxy.read_retries");
+            db::Response again = overlay ? overlay->apply(store_, req)
+                                         : store_.execute(req);
+            again.resets = 1;
+            resp = std::move(again);
+        }
+    }
+    if (is_write && idem_key != 0 && !overlay && resp.ok) {
+        applied_.emplace(idem_key, resp);
+        ++stats_.idem_writes_applied;
+        count(telemetry_, "proxy.idem_writes_applied");
+    }
+    return resp;
+}
+
+db::Response
+ConnectionProxy::request(ConnId conn, const db::Request &req,
+                         uint64_t idem_key)
 {
     bh_assert(isOpen(conn), "request on closed connection");
     ++stats_.requests_routed;
     count(telemetry_, "proxy.requests_routed");
-    return store_.execute(req);
+    return route(req, idem_key, nullptr);
 }
 
 db::Response
 ConnectionProxy::requestViaOffload(OffloadId id, const db::Request &req,
-                                   std::optional<ShadowToken> shadow)
+                                   std::optional<ShadowToken> shadow,
+                                   uint64_t idem_key)
 {
     auto it = offloads_.find(id);
     bh_assert(it != offloads_.end(), "request via unknown offload id");
@@ -128,12 +181,13 @@ ConnectionProxy::requestViaOffload(OffloadId id, const db::Request &req,
     ++stats_.offload_requests;
     count(telemetry_, "proxy.requests_routed");
     count(telemetry_, "proxy.offload_requests");
+    ShadowSession *overlay = nullptr;
     if (shadow) {
         auto sit = shadows_.find(*shadow);
         if (sit != shadows_.end())
-            return sit->second.apply(store_, req);
+            overlay = &sit->second;
     }
-    return store_.execute(req);
+    return route(req, idem_key, overlay);
 }
 
 } // namespace beehive::proxy

@@ -66,6 +66,18 @@ class ConnectionProxy
         uint64_t attaches = 0;
         uint64_t shadow_sessions = 0;
         uint64_t shadow_writes = 0;
+        /** Injected connection resets observed at the proxy. */
+        uint64_t connection_resets = 0;
+        /** Reconnects performed after a reset. */
+        uint64_t reconnects = 0;
+        /** Idempotent reads transparently re-issued after a reset. */
+        uint64_t read_retries = 0;
+        /** Keyed writes recorded by the exactly-once guard. */
+        uint64_t idem_writes_applied = 0;
+        /** Retried writes suppressed as already-applied duplicates. */
+        uint64_t dup_writes_suppressed = 0;
+        /** Shadow sessions dropped by a killed/cancelled shadow. */
+        uint64_t shadow_aborts = 0;
     };
 
     explicit ConnectionProxy(db::RecordStore &store) : store_(store) {}
@@ -110,6 +122,10 @@ class ConnectionProxy
     /** Shadow finished: discard its overlay; later requests are real. */
     void shadowEnd(ShadowToken token);
 
+    /** Shadow killed or cancelled mid-run: drop the overlay without
+     * the completion accounting shadowEnd performs. */
+    void shadowAbort(ShadowToken token);
+
     bool shadowActive(ShadowToken token) const;
     /// @}
 
@@ -117,18 +133,36 @@ class ConnectionProxy
     /// @{
     /**
      * Route a request arriving on the server side of @p conn.
+     *
+     * @p idem_key (nonzero) marks a write with an idempotency key:
+     * the proxy records the first application and replays the saved
+     * response for any duplicate key, so a re-executed request never
+     * double-applies its side effects (exactly-once guard). Zero
+     * (the default) keeps the legacy at-most-once-per-call path.
      */
-    db::Response request(ConnId conn, const db::Request &req);
+    db::Response request(ConnId conn, const db::Request &req,
+                         uint64_t idem_key = 0);
 
     /**
      * Route a request arriving from an offloaded function that
      * attached with @p id. When @p shadow is set and active, writes
-     * are intercepted into the shadow overlay.
+     * are intercepted into the shadow overlay (and bypass the
+     * exactly-once guard: overlay writes never reach the store).
+     * @p idem_key as in request().
      */
     db::Response requestViaOffload(
         OffloadId id, const db::Request &req,
-        std::optional<ShadowToken> shadow = std::nullopt);
+        std::optional<ShadowToken> shadow = std::nullopt,
+        uint64_t idem_key = 0);
     /// @}
+
+    /** Cost of re-establishing a database connection after an
+     * injected reset (charged by the request drivers per absorbed
+     * reset). */
+    sim::SimTime reconnectPenalty() const
+    {
+        return sim::SimTime::usec(350);
+    }
 
     /**
      * Proxy-side processing time added to every routed request
@@ -158,10 +192,16 @@ class ConnectionProxy
         bool open = false;
     };
 
+    /** Dedup + reset handling shared by both routing entry points. */
+    db::Response route(const db::Request &req, uint64_t idem_key,
+                       ShadowSession *overlay);
+
     db::RecordStore &store_;
     std::map<ConnId, Conn> conns_;
     std::map<OffloadId, Descriptor> offloads_;
     std::map<ShadowToken, ShadowSession> shadows_;
+    /** Exactly-once guard: responses of applied keyed writes. */
+    std::map<uint64_t, db::Response> applied_;
     ConnId next_conn_ = 1;
     OffloadId next_offload_ = 100;
     ShadowToken next_shadow_ = 1;

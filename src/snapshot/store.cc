@@ -2,7 +2,42 @@
 
 #include <algorithm>
 
+#include "chaos/chaos.h"
+
 namespace beehive::snapshot {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void
+fnv(uint64_t &h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+uint64_t
+SnapshotStore::metaChecksum(const WorkingSet &ws)
+{
+    uint64_t h = kFnvOffset;
+    for (vm::KlassId k : ws.klasses)
+        fnv(h, k);
+    for (const RecordedObject &o : ws.objects) {
+        fnv(h, o.ref);
+        fnv(h, o.klass);
+        fnv(h, o.kind);
+        fnv(h, o.count);
+        fnv(h, o.size);
+        fnv(h, o.gc_epoch);
+    }
+    return h;
+}
 
 SnapshotStore::SnapshotStore(const vm::Program &program,
                              const vm::Heap &server_heap,
@@ -37,6 +72,7 @@ SnapshotStore::recordClassFault(vm::MethodId root, vm::KlassId klass)
     uint64_t bytes = program_.klass(klass).code_bytes;
     ws.bytes += bytes;
     total_bytes_ += bytes;
+    reseal(ws);
 }
 
 void
@@ -67,6 +103,7 @@ SnapshotStore::recordObjectFault(vm::MethodId root,
     ws.objects.push_back(obj);
     ws.bytes += hdr.size;
     total_bytes_ += hdr.size;
+    reseal(ws);
 }
 
 void
@@ -111,6 +148,7 @@ SnapshotStore::endRecordedBoot(vm::MethodId root)
         ws.unconfirmed_objects.clear();
         ws.faults_since_synthesis = 0;
         ws.synthetic = false; // now a recorded working set
+        reseal(ws);
     }
     evictOverBudget();
 }
@@ -149,6 +187,7 @@ SnapshotStore::synthesizeManifest(
         ws.bytes += hdr.size;
         total_bytes_ += hdr.size;
     }
+    reseal(ws);
     ws.lru = ++lru_clock_;
     evictOverBudget();
 }
@@ -308,6 +347,27 @@ SnapshotStore::planRestore(vm::MethodId root,
     WorkingSet &ws = it->second;
     ws.lru = ++lru_clock_;
     ++restores_planned_;
+
+    if (chaos_ && chaos_->enabled() && chaos_->corruptImage()) {
+        // Injected storage corruption: flip stored metadata without
+        // touching the seal, exactly like a bad sector under a
+        // stale checksum.
+        if (!ws.objects.empty())
+            ws.objects.front().size ^= 0x2a;
+        else if (!ws.klasses.empty())
+            ws.klasses.front() ^= 0x1;
+    }
+    if (ws.checksum != metaChecksum(ws)) {
+        // Verification failed: never restore from a corrupt image.
+        // Evict it so the endpoint re-records from scratch; the
+        // caller degrades to the ordinary cold-boot path.
+        ++corruptions_;
+        total_bytes_ -= ws.bytes;
+        evicted_roots_.insert(root);
+        roots_.erase(it);
+        plan.corrupted = true;
+        return plan;
+    }
 
     plan.klasses = ws.klasses; // first-fault order
     for (const RecordedObject &o : ws.objects) {

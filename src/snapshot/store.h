@@ -55,6 +55,10 @@
 #include "vm/heap.h"
 #include "vm/program.h"
 
+namespace beehive::chaos {
+class ChaosEngine;
+}
+
 namespace beehive::snapshot {
 
 /** Everything a restore boot pre-installs for one endpoint. */
@@ -67,6 +71,9 @@ struct RestorePlan
     std::vector<vm::Ref> objects;
     /** Recorded objects dropped by staleness revalidation. */
     uint64_t stale_objects = 0;
+    /** Stored image failed checksum verification: the plan is empty,
+     * the image was evicted, the caller must cold-boot instead. */
+    bool corrupted = false;
     /** Modeled transfer size: base image + endpoint delta. */
     uint64_t image_bytes = 0;
     uint64_t base_hash = 0;  //!< content address of the base layer
@@ -172,7 +179,15 @@ class SnapshotStore
     }
     /** Synthetic entries dropped by recorded-boot refinement. */
     uint64_t refinedDropped() const { return refined_dropped_; }
+    /** Images that failed checksum verification at restore time. */
+    uint64_t corruptions() const { return corruptions_; }
     /// @}
+
+    /** Attach the fault-injection engine (nullptr detaches). With
+     * chaos armed, planRestore() may find its stored metadata
+     * corrupted; the checksum seal catches it and the restore falls
+     * back to the cold path. */
+    void setChaos(chaos::ChaosEngine *chaos) { chaos_ = chaos; }
 
   private:
     struct RecordedObject
@@ -201,6 +216,12 @@ class SnapshotStore
         std::set<vm::Ref> unconfirmed_objects;
         /** Faults recorded since synthesis (refinement trigger). */
         uint64_t faults_since_synthesis = 0;
+        /** Integrity seal over the recorded metadata (klass list +
+         * object shapes); re-sealed at every mutation, verified at
+         * planRestore(). Live payloads are captured fresh at image
+         * build time, so the seal covers exactly the bytes that
+         * persist in the store. */
+        uint64_t checksum = 0;
     };
 
     /** Is @p obj still the object that was recorded? */
@@ -216,6 +237,12 @@ class SnapshotStore
     /** roots_[root], counting a re-record when @p root was evicted. */
     WorkingSet &workingSetFor(vm::MethodId root);
 
+    /** FNV-1a over the working set's persistent metadata. */
+    static uint64_t metaChecksum(const WorkingSet &ws);
+
+    /** Recompute the seal after a metadata mutation. */
+    static void reseal(WorkingSet &ws) { ws.checksum = metaChecksum(ws); }
+
     const vm::Program &program_;
     const vm::Heap &heap_;
     uint64_t budget_bytes_;
@@ -229,7 +256,9 @@ class SnapshotStore
     uint64_t re_records_ = 0;
     uint64_t manifests_synthesized_ = 0;
     uint64_t refined_dropped_ = 0;
+    uint64_t corruptions_ = 0;
     uint64_t lru_clock_ = 0;
+    chaos::ChaosEngine *chaos_ = nullptr;
 };
 
 } // namespace beehive::snapshot

@@ -25,6 +25,22 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+uint64_t
+mix64(uint64_t a, uint64_t b)
+{
+    uint64_t x = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng
+Rng::stream(uint64_t seed, uint64_t stream_id)
+{
+    return Rng(mix64(seed, stream_id));
+}
+
 Rng::Rng(uint64_t seed)
 {
     uint64_t x = seed;

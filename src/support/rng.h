@@ -14,12 +14,28 @@
 
 namespace beehive {
 
+/**
+ * Stateless SplitMix64-style mix of two words into one well-mixed
+ * word. Used to derive named RNG streams and deterministic jitter
+ * fractions (e.g. retry backoff) without consuming generator state.
+ */
+uint64_t mix64(uint64_t a, uint64_t b);
+
 /** Deterministic random number generator (xoshiro256**). */
 class Rng
 {
   public:
     /** Construct with the given seed; equal seeds yield equal streams. */
     explicit Rng(uint64_t seed = 1);
+
+    /**
+     * Derive a named, independent stream from a run seed. Unlike
+     * fork(), this consumes no generator state: two subsystems that
+     * construct their streams by id never perturb each other, so
+     * enabling one (e.g. fault injection) leaves every other stream
+     * byte-identical.
+     */
+    static Rng stream(uint64_t seed, uint64_t stream_id);
 
     /** Next raw 64-bit value. */
     uint64_t next();
